@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures at the
+configured dataset scale (see ``repro.experiments.common``), prints the
+rows, saves them under ``benchmarks/results/`` and asserts the paper's
+qualitative shape (who wins, directionality of trends).
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+tables inline, or read the saved files.  ``REPRO_FULL=1`` switches to
+paper-size workloads (hours).
+"""
+
+import os
+
+import pytest
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def save_result():
+    """Write a benchmark's regenerated table to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1,
+                                  warmup_rounds=0)
+
+    return _run

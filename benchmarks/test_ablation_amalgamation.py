@@ -1,0 +1,25 @@
+"""Ablation: supernode amalgamation cap (DESIGN.md).
+
+Variable-sized supernodes are the key to mapping sparse factorization
+onto the systolic COMP: single-variable nodes drown in per-op dispatch,
+oversized nodes inflate the dense frontal work.
+"""
+
+from repro.experiments.ablations import amalgamation_ablation
+from repro.experiments.common import format_table
+
+
+def test_ablation_supernode_size(once, save_result):
+    results = once(amalgamation_ablation)
+    base = results[1]
+    rows = [[str(cap), f"{1e3 * total:.2f}", f"{total / base:.3f}"]
+            for cap, total in sorted(results.items())]
+    save_result("ablation_amalgamation",
+                "Ablation — supernode amalgamation cap (Sphere, 2 sets)\n"
+                + format_table(["max vars/supernode", "numeric (ms)",
+                                "vs cap=1"], rows))
+
+    # Amalgamation beats one-variable-per-node...
+    assert results[8] < results[1]
+    # ...and the default (8) is at least as good as the extremes.
+    assert results[8] <= min(results[1], results[16]) * 1.1

@@ -1,0 +1,27 @@
+"""Ablation: cost-model fidelity (DESIGN.md).
+
+RA-ISAM2 budgets with the analytic node cost model (Section 4.3.3); for
+the latency guarantee to hold, the estimates must correlate with — and
+not chronically underestimate — the realized scheduled latency.
+"""
+
+from repro.experiments.ablations import cost_model_fidelity
+
+
+def test_ablation_cost_model_fidelity(once, save_result):
+    result = once(cost_model_fidelity)
+    lines = [
+        "Ablation — Algorithm-1 estimate vs realized latency (CAB2, 2 sets)",
+        f"steps compared: {result['steps']:.0f}",
+        f"mean estimate/realized ratio: {result['mean_ratio']:.2f}",
+        f"p10 ratio: {result['p10_ratio']:.2f}",
+        f"correlation: {result['correlation']:.3f}",
+        f"fraction underestimated: {100 * result['underestimates']:.1f}%",
+    ]
+    save_result("ablation_cost_model", "\n".join(lines))
+
+    assert result["steps"] > 10
+    # Estimates track reality (strong positive correlation)...
+    assert result["correlation"] > 0.5
+    # ...and are conservative on average (the safety margin direction).
+    assert result["mean_ratio"] > 0.8

@@ -1,0 +1,28 @@
+"""Ablation: relevance-ranked selection vs FIFO and random (DESIGN.md).
+
+All policies spend the same budget; the paper's greedy
+most-relevant-first ranking should achieve the lowest error because the
+most-drifted variables carry the largest linearization error.
+"""
+
+from repro.experiments.ablations import selection_policy_ablation
+from repro.experiments.common import format_table
+
+
+def test_ablation_selection_policy(once, save_result):
+    results = once(selection_policy_ablation)
+    rows = [[policy, f"{entry['irmse']:.5g}", f"{entry['max']:.5g}",
+             f"{entry['deferred']:.0f}"]
+            for policy, entry in results.items()]
+    save_result("ablation_selection",
+                "Ablation — selection policy under a tight budget "
+                "(M3500, 1 set, 30% target)\n"
+                + format_table(["Policy", "iRMSE", "MAX", "deferred"],
+                               rows))
+
+    # Every policy defers work under the tight budget (the budget binds).
+    assert all(entry["deferred"] > 0 for entry in results.values())
+    # Relevance ranking is at least as accurate as both alternatives.
+    relevance = results["relevance"]["irmse"]
+    assert relevance <= results["fifo"]["irmse"] * 1.05
+    assert relevance <= results["random"]["irmse"] * 1.05

@@ -1,0 +1,35 @@
+"""Design-space exploration bench (paper Section 4.2's configurability).
+
+Sweeps the systolic array dimension and the number of accelerator sets
+over the CAB2 workload's traces and reports the latency/area Pareto
+front.
+"""
+
+from repro.experiments.design_space import (
+    design_space_sweep,
+    design_space_table,
+    pareto_points,
+)
+
+
+def test_design_space_sweep(once, save_result):
+    results = once(design_space_sweep)
+    save_result("design_space",
+                "Design-space sweep — CAB2 numeric latency vs area\n"
+                + design_space_table(results))
+
+    # Bigger arrays and more sets are each individually faster.
+    for sets in (1, 2, 4):
+        assert results[(8, sets)]["numeric_seconds"] < \
+            results[(2, sets)]["numeric_seconds"]
+    for dim in (2, 4, 8):
+        assert results[(dim, 4)]["numeric_seconds"] < \
+            results[(dim, 1)]["numeric_seconds"]
+    # Area grows with both axes.
+    assert results[(8, 1)]["area_um2"] > results[(2, 1)]["area_um2"]
+    assert results[(4, 4)]["area_um2"] > results[(4, 1)]["area_um2"]
+
+    # The Pareto front has at least the two extreme points.
+    front = pareto_points(results)
+    assert len(front) >= 2
+    assert (2, 1) in front  # smallest area is never dominated

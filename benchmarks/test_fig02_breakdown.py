@@ -1,0 +1,30 @@
+"""Paper Figure 2: frontend vs backend latency variability.
+
+The frontend has a small, fixed per-frame cost while the backend latency
+varies drastically from iteration to iteration — the motivation for the
+whole system.
+"""
+
+from repro.experiments.breakdown import figure2
+
+
+def test_fig02_backend_variability(once, save_result):
+    result = once(figure2)
+    lines = [
+        "Figure 2 — per-iteration latency (EuRoC-like stream, server CPU)",
+        f"frontend: mean {result['frontend_mean_ms']:.2f} ms, "
+        f"std {result['frontend_std_ms']:.2f} ms",
+        f"backend:  mean {result['backend_mean_ms']:.3f} ms, "
+        f"std {result['backend_std_ms']:.3f} ms, "
+        f"peak {result['backend_peak_ms']:.3f} ms",
+    ]
+    save_result("fig02_breakdown", "\n".join(lines))
+
+    backend = result["backend_ms"]
+    # Backend latency is highly variable: the peak dwarfs the mean.
+    assert result["backend_peak_ms"] > 5.0 * result["backend_mean_ms"]
+    # Relative variability: backend varies far more than the frontend.
+    rel_backend = result["backend_std_ms"] / result["backend_mean_ms"]
+    rel_frontend = result["frontend_std_ms"] / result["frontend_mean_ms"]
+    assert rel_backend > 3.0 * rel_frontend
+    assert len(backend) > 10

@@ -1,0 +1,24 @@
+"""Paper Figure 3: representative SLAM backend latency breakdown.
+
+Numeric operations dominate and most numeric time is GEMM-class work —
+the justification for building COMP around a matrix engine.
+"""
+
+from repro.experiments.breakdown import figure3, figure3_table, \
+    numeric_fraction
+
+
+def test_fig03_backend_op_breakdown(once, save_result):
+    fractions = once(figure3)
+    save_result("fig03_op_breakdown",
+                "Figure 3 — backend time by category (CAB2, BOOM)\n"
+                + figure3_table(fractions))
+
+    # Numeric work dominates the backend (paper: "the numeric operations
+    # are dominant", motivating numeric-only acceleration).
+    assert numeric_fraction(fractions) > 0.6
+    # GEMM-class ops are the single largest numeric category.
+    gemm = fractions.get("gemm", 0.0)
+    others = [v for k, v in fractions.items()
+              if k not in ("gemm", "relinearization", "symbolic")]
+    assert all(gemm >= v for v in others)

@@ -1,0 +1,28 @@
+"""Paper Figure 9: runtime parallelism ablation.
+
+Numeric latency as the runtime optimizations are enabled cumulatively:
+heterogeneous COMP/MEM overlap, inter-node parallelism, intra-node
+parallelism (Sphere and CAB2, 2 accelerator sets).
+"""
+
+from repro.experiments.latency import FIG9_CONFIGS, figure9, figure9_table
+
+
+def test_fig09_runtime_parallelism(once, save_result):
+    results = once(figure9)
+    save_result("fig09_runtime_ablation",
+                "Figure 9 — numeric latency, normalized to no-parallelism\n"
+                + figure9_table(results))
+
+    labels = [label for label, _ in FIG9_CONFIGS]
+    for name, per_config in results.items():
+        values = [per_config[label] for label in labels]
+        # Each optimization must not hurt, and the cumulative gain must
+        # be substantial (paper: ~50% cumulative on 2 sets).
+        for before, after in zip(values, values[1:]):
+            assert after <= before * 1.001
+        assert values[-1] < 0.65 * values[0]
+        # Heterogeneous overlap alone is a ~10-20% gain (paper: 15.3%
+        # Sphere / 11.4% CAB2).
+        hetero_gain = 1.0 - values[1] / values[0]
+        assert 0.03 < hetero_gain < 0.35

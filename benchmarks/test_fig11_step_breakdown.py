@@ -1,0 +1,35 @@
+"""Paper Figure 11: execution-time breakdown of the backend step.
+
+Mean per-step relinearization / symbolic / numeric / algorithm-overhead
+latency for the incremental baseline and RA-ISAM2 on CAB2 and M3500 with
+2 and 4 accelerator sets.
+"""
+
+from repro.experiments.realtime import (
+    figure11,
+    figure11_table,
+    selection_overhead_percent,
+)
+
+
+def test_fig11_latency_breakdown(once, save_result):
+    results = once(figure11)
+    overhead = selection_overhead_percent()
+    save_result(
+        "fig11_step_breakdown",
+        "Figure 11 — mean per-step latency breakdown\n"
+        + figure11_table(results)
+        + "\n\nRA-ISAM2 selection overhead: "
+        + ", ".join(f"{k}={v:.2f}%" for k, v in overhead.items()))
+
+    for name, entry in results.items():
+        for config, means in entry.items():
+            assert means["total"] > 0.0
+        # More accelerator sets reduce the numeric component for the
+        # incremental baseline (same work, more hardware).
+        assert entry["In4S"]["numeric"] < entry["In2S"]["numeric"]
+
+    # The selection pass is cheap (paper: 0.1% M3500 / 0.9% CAB2 —
+    # scalable to large problems).
+    for name, percent in overhead.items():
+        assert percent < 5.0

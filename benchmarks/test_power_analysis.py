@@ -1,0 +1,32 @@
+"""Paper Section 6.5: power analysis.
+
+SuperNoVA consumes 114 mW at its most power-intensive operation (the
+symmetric rank-k update) versus 5-10 W embedded GPUs and 2.5-5 W FPGA
+accelerators; the bench also reports whole-run energy on CAB1 from the
+activity model.
+"""
+
+from repro.experiments.tables import power_analysis
+
+
+def test_power_analysis(once, save_result):
+    result = once(power_analysis)
+    lines = [
+        "Section 6.5 — power analysis",
+        f"peak power: {1e3 * result['peak_watts']:.0f} mW "
+        f"(during {result['peak_op']})",
+        f"embedded GPU range: {result['gpu_range_watts']} W",
+        f"FPGA range: {result['fpga_range_watts']} W",
+        f"CAB1 run energy (accelerators): "
+        f"{1e3 * result['run_energy_joules']:.3f} mJ",
+        f"GPU-to-SuperNoVA power ratio: >= "
+        f"{result['gpu_power_ratio']:.0f}x",
+    ]
+    save_result("power_analysis", "\n".join(lines))
+
+    assert result["peak_watts"] == 0.114
+    assert result["peak_op"] == "syrk"
+    # Orders of magnitude below GPU and FPGA power envelopes.
+    assert result["peak_watts"] < result["fpga_range_watts"][0] / 10
+    assert result["peak_watts"] < result["gpu_range_watts"][0] / 40
+    assert result["run_energy_joules"] > 0.0

@@ -1,0 +1,25 @@
+"""Section 7: the scalability limit of resource-aware SLAM.
+
+With a fixed per-step deadline, longer CAB2 histories force RA-ISAM2 to
+defer (eventually drop) an increasing fraction of relinearization work —
+the accuracy/real-time trade the paper discusses as future work.
+"""
+
+from repro.experiments.scalability import scalability_sweep, \
+    scalability_table
+
+
+def test_scalability_limit(once, save_result):
+    results = once(scalability_sweep)
+    save_result("scalability",
+                "Section 7 — scalability under a fixed deadline (CAB2)\n"
+                + scalability_table(results))
+
+    scales = sorted(results)
+    # The deadline is honored at every size...
+    for entry in results.values():
+        assert entry["miss_rate"] == 0.0
+    # ...but the deferred fraction grows with the history length.
+    fractions = [results[s]["deferred_fraction"] for s in scales]
+    assert fractions[-1] > fractions[0]
+    assert fractions[-1] > 0.2  # a substantial share is being dropped

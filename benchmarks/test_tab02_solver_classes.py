@@ -1,0 +1,37 @@
+"""Paper Table 2: measured solver-class comparison.
+
+The qualitative table (global consistency / bounded latency / loop
+closure / resource awareness) is *measured* here rather than asserted:
+each property is checked on a Sphere run of the corresponding solver.
+"""
+
+from repro.experiments.tables import table2, table2_table
+
+
+def test_tab02_solver_class_properties(once, save_result):
+    results = once(table2)
+    save_result("tab02_solver_classes",
+                "Table 2 — measured solver-class properties (Sphere)\n"
+                + table2_table(results))
+
+    # The paper's matrix, row by row.
+    assert not results["Local"]["global_consistency"]
+    assert not results["Local"]["loop_closure"]
+    assert results["Local"]["bounded_latency"]
+
+    assert results["Local+Global"]["loop_closure"]
+    assert results["Local+Global"]["global_consistency"]
+    # Only RA-ISAM2 combines bounded latency with global consistency.
+    assert not results["Incremental"]["bounded_latency"]
+
+    assert results["Incremental"]["global_consistency"]
+    assert results["Incremental"]["loop_closure"]
+
+    ra = results["RA-ISAM2"]
+    assert ra["global_consistency"]
+    assert ra["bounded_latency"]
+    assert ra["loop_closure"]
+    assert ra["resource_aware"]
+    # RA-ISAM2 is the only resource-aware solver.
+    assert not any(results[s]["resource_aware"]
+                   for s in ("Local", "Local+Global", "Incremental"))

@@ -1,0 +1,38 @@
+"""Paper Table 4: accuracy of all methods on all datasets.
+
+MAX and iRMSE against the per-step converged reference trajectory for
+Local, Local+Global, RACPU, RA1S/RA2S/RA4S and the incremental baseline.
+"""
+
+from repro.experiments.accuracy import table4, table4_table
+from repro.experiments.common import DATASETS
+
+
+def test_tab04_accuracy(once, save_result):
+    results = once(table4, DATASETS)
+    save_result("tab04_accuracy",
+                "Table 4 — MAX (m) and iRMSE (m) per method\n"
+                + table4_table(results))
+
+    for name, entry in results.items():
+        # The local sliding window drifts: worst iRMSE of all methods.
+        for method in ("RA1S", "RA2S", "RA4S", "In"):
+            assert entry["Local"]["irmse"] > entry[method]["irmse"], \
+                f"Local should be worst on {name} (vs {method})"
+        # The resource-aware solvers beat the Local+Global baseline on
+        # iRMSE (the headline Table 4 claim), and so does the idealized
+        # incremental baseline.  (RA can even beat In on CAB1-style
+        # datasets — the paper's Table 4 shows the same inversion.)
+        assert entry["RA4S"]["irmse"] < entry["Local+Global"]["irmse"]
+        assert entry["In"]["irmse"] < entry["Local+Global"]["irmse"]
+
+    # Scalability with resources: 4 sets never worse than 1 set by more
+    # than noise, and better somewhere.
+    improvements = 0
+    for name, entry in results.items():
+        if name == "M3500":
+            continue  # the paper's noted relinearization-bound exception
+        assert entry["RA4S"]["irmse"] <= entry["RA1S"]["irmse"] * 1.25
+        if entry["RA4S"]["irmse"] < entry["RA1S"]["irmse"]:
+            improvements += 1
+    assert improvements >= 1

@@ -1,0 +1,23 @@
+"""Paper Table 5: physical design and area analysis.
+
+The 16 nm synthesis numbers are design-time constants; the bench
+reproduces the table and its derived claim (1 CPU + 1 accelerator set =
+40% of a BOOM core; 2 sets + 2 CPUs ~= 80%).
+"""
+
+from repro.experiments.common import format_table
+from repro.experiments.tables import table5_rows
+from repro.hardware import area_summary
+
+
+def test_tab05_area_analysis(once, save_result):
+    rows = once(table5_rows)
+    save_result("tab05_area",
+                "Table 5 — area (um^2, 16 nm)\n"
+                + format_table(["Component", "Area (um^2)", "% of tile"],
+                               rows))
+
+    one_set = area_summary(accel_sets=1, cpu_tiles=1)
+    two_sets = area_summary(accel_sets=2, cpu_tiles=2)
+    assert abs(one_set["fraction_of_boom"] - 0.40) < 0.01
+    assert abs(two_sets["fraction_of_boom"] - 0.80) < 0.02

@@ -1,0 +1,25 @@
+"""SuperNoVA reproduction: resource-aware SLAM, algorithm to hardware.
+
+A from-scratch Python implementation of the system described in
+*SuperNoVA: Algorithm-Hardware Co-Design for Resource-Aware SLAM*
+(ASPLOS 2025): the RA-ISAM2 incremental solver, its supernodal sparse
+linear-algebra substrate, the SuperNoVA SoC's cycle-level hardware
+models, the accelerator-virtualizing runtime, the evaluation workloads,
+and the benchmark harness that regenerates every table and figure of
+the paper's evaluation.
+
+Quick tour of the subpackages:
+
+* :mod:`repro.core` — RA-ISAM2 (the paper's contribution).
+* :mod:`repro.solvers` — ISAM2 engine and the baseline solvers.
+* :mod:`repro.linalg` — supernodal multifrontal Cholesky + tracing.
+* :mod:`repro.factorgraph` / :mod:`repro.geometry` — problem modeling.
+* :mod:`repro.hardware` / :mod:`repro.runtime` — the simulated SoC.
+* :mod:`repro.datasets` / :mod:`repro.metrics` — workloads and metrics.
+* :mod:`repro.experiments` — harnesses behind ``benchmarks/``.
+
+See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the
+reproduction methodology and results.
+"""
+
+__version__ = "1.0.0"

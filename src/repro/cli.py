@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro generate --dataset M3500 --scale 0.1 out.g2o
+    python -m repro solve in.g2o --solver lm --out solved.g2o
+    python -m repro simulate --dataset CAB1 --scale 0.2 --platform supernova2
+    python -m repro info in.g2o
+
+``solve`` optimizes a g2o pose graph (Gauss-Newton, Levenberg-Marquardt
+or incremental ISAM2); ``simulate`` streams a generated dataset through
+RA-ISAM2 on a chosen platform model and reports latency/miss statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import RAISAM2
+from repro.datasets import (
+    cab1_dataset,
+    cab2_dataset,
+    manhattan_dataset,
+    read_g2o,
+    run_online,
+    sphere_dataset,
+    write_g2o,
+)
+from repro.factorgraph import FactorGraph, PriorFactorSE2, PriorFactorSE3
+from repro.factorgraph.noise import DiagonalNoise
+from repro.geometry import SE2, SE3
+from repro.hardware import (
+    boom_cpu,
+    embedded_gpu,
+    mobile_cpu,
+    mobile_dsp,
+    server_cpu,
+    spatula_soc,
+    supernova_soc,
+)
+from repro.metrics import latency_stats
+from repro.runtime import NodeCostModel
+from repro.solvers import GaussNewton, ISAM2, LevenbergMarquardt
+
+DATASETS = {
+    "M3500": manhattan_dataset,
+    "Sphere": sphere_dataset,
+    "CAB1": cab1_dataset,
+    "CAB2": cab2_dataset,
+}
+
+PLATFORMS = {
+    "boom": boom_cpu,
+    "mobile-cpu": mobile_cpu,
+    "mobile-dsp": mobile_dsp,
+    "server": server_cpu,
+    "gpu": embedded_gpu,
+    "spatula2": lambda: spatula_soc(2),
+    "supernova1": lambda: supernova_soc(1),
+    "supernova2": lambda: supernova_soc(2),
+    "supernova4": lambda: supernova_soc(4),
+}
+
+
+def _add_anchor_if_needed(values, factors) -> List:
+    """g2o files usually carry no prior; anchor the first vertex."""
+    keys = sorted(values.keys())
+    if not keys:
+        return list(factors)
+    first = values.at(keys[0])
+    if isinstance(first, SE2):
+        prior = PriorFactorSE2(keys[0], first,
+                               DiagonalNoise([1e-3, 1e-3, 1e-4]))
+    elif isinstance(first, SE3):
+        prior = PriorFactorSE3(keys[0], first,
+                               DiagonalNoise([1e-3] * 3 + [1e-4] * 3))
+    else:
+        return list(factors)
+    return [prior] + list(factors)
+
+
+def cmd_generate(args) -> int:
+    data = DATASETS[args.dataset](scale=args.scale, seed=args.seed)
+    from repro.factorgraph import Values
+    values = Values()
+    for key, pose in data.ground_truth.items():
+        values.insert(key, pose)
+    factors = [f for step in data.steps for f in step.factors
+               if len(f.keys) == 2]
+    write_g2o(args.output, values, factors)
+    print(f"{data.describe()} -> {args.output}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    values, factors = read_g2o(args.input)
+    dims = {type(values.at(k)).__name__ for k in values.keys()}
+    print(f"{args.input}: {len(values)} vertices ({', '.join(dims)}), "
+          f"{len(factors)} edges")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    values, factors = read_g2o(args.input)
+    factors = _add_anchor_if_needed(values, factors)
+    graph = FactorGraph()
+    for factor in factors:
+        graph.add(factor)
+
+    if args.solver == "gn":
+        result = GaussNewton(max_iterations=args.iterations) \
+            .optimize(graph, values)
+        solved, error = result.values, result.final_error
+    elif args.solver == "lm":
+        result = LevenbergMarquardt(max_iterations=args.iterations) \
+            .optimize(graph, values)
+        solved, error = result.values, result.final_error
+    else:  # isam2: feed variables in key order
+        solver = ISAM2(relin_threshold=0.01)
+        pending = {index: graph.factor(index)
+                   for index in graph.factor_indices()}
+        added = set()
+        for key in sorted(values.keys()):
+            added.add(key)
+            ready = [i for i, f in pending.items()
+                     if all(k in added for k in f.keys)]
+            solver.update({key: values.at(key)},
+                          [pending.pop(i) for i in ready])
+        solved = solver.estimate()
+        error = graph.error(solved)
+
+    print(f"solved with {args.solver}: final objective {error:.6g}")
+    if args.output:
+        edges = [f for f in graph.factors() if len(f.keys) == 2]
+        write_g2o(args.output, solved, edges)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    data = DATASETS[args.dataset](scale=args.scale, seed=args.seed)
+    soc = PLATFORMS[args.platform]()
+    target = args.target_ms * 1e-3
+    if soc.has_accelerators:
+        solver = RAISAM2(NodeCostModel(soc), target_seconds=target)
+    else:
+        solver = ISAM2(relin_threshold=0.05)
+    run = run_online(solver, data, soc=soc, collect_errors=False)
+    stats = latency_stats(run.latency_seconds(), target)
+    print(f"{data.describe()} on {soc.name}")
+    print(f"per-step latency: median {1e3 * stats.median:.3f} ms, "
+          f"p95 {1e3 * stats.p95:.3f} ms, max {1e3 * stats.maximum:.3f} ms")
+    print(f"target {args.target_ms} ms, misses "
+          f"{100 * stats.miss_rate:.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a dataset as g2o")
+    gen.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+    gen.add_argument("--scale", type=float, default=0.1)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("output")
+    gen.set_defaults(func=cmd_generate)
+
+    info = sub.add_parser("info", help="describe a g2o file")
+    info.add_argument("input")
+    info.set_defaults(func=cmd_info)
+
+    solve = sub.add_parser("solve", help="optimize a g2o pose graph")
+    solve.add_argument("input")
+    solve.add_argument("--solver", choices=("gn", "lm", "isam2"),
+                       default="lm")
+    solve.add_argument("--iterations", type=int, default=30)
+    solve.add_argument("--out", dest="output")
+    solve.set_defaults(func=cmd_solve)
+
+    sim = sub.add_parser("simulate",
+                         help="latency simulation on a platform model")
+    sim.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+    sim.add_argument("--scale", type=float, default=0.1)
+    sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument("--platform", choices=sorted(PLATFORMS),
+                     default="supernova2")
+    sim.add_argument("--target-ms", type=float, default=33.3)
+    sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The SuperNoVA algorithm: Resource-Aware ISAM2 (paper Section 4.1).
+
+RA-ISAM2 replaces ISAM2's fixed relinearization threshold with a greedy,
+deadline-budgeted selection: variables are ranked by *relevance score*
+(the max-norm of their pending update) and relinearized most-relevant
+first while the estimated cost — Algorithm 1's memoized path costs over
+the elimination tree, priced by the runtime's node cost model — fits in
+the remaining per-step budget.  Loop-closure cost is thereby amortized
+over several steps while every step meets the latency target.
+"""
+
+from repro.core.relevance import RelinCostEstimator, relevance_scores
+from repro.core.budget import StepBudget
+from repro.core.ra_isam2 import RAISAM2
+
+__all__ = [
+    "RelinCostEstimator",
+    "relevance_scores",
+    "StepBudget",
+    "RAISAM2",
+]

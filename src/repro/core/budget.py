@@ -1,0 +1,60 @@
+"""Per-step latency (and optional energy) budgets for RA-ISAM2."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class StepBudget:
+    """Tracks remaining per-step budget during greedy selection.
+
+    Parameters
+    ----------
+    target_seconds:
+        Hard per-step latency target (paper: 33.3 ms for 30 FPS).
+    safety:
+        Fraction of the target available to the selection pass; the rest
+        absorbs cost-model error so the realized latency stays under the
+        target.
+    energy_budget_joules:
+        Optional per-step energy cap (the Section 7 energy-aware
+        extension); None disables energy accounting.
+    """
+
+    def __init__(self, target_seconds: float, safety: float = 0.85,
+                 energy_budget_joules: Optional[float] = None):
+        if target_seconds <= 0:
+            raise ValueError("target must be positive")
+        if not 0.0 < safety <= 1.0:
+            raise ValueError("safety must be in (0, 1]")
+        self.target_seconds = float(target_seconds)
+        self.safety = float(safety)
+        self.remaining = self.target_seconds * self.safety
+        self.energy_remaining = (float(energy_budget_joules)
+                                 if energy_budget_joules is not None
+                                 else None)
+
+    def charge_mandatory(self, seconds: float,
+                         joules: float = 0.0) -> None:
+        """Deduct unavoidable work (may drive the budget negative)."""
+        self.remaining -= seconds
+        if self.energy_remaining is not None:
+            self.energy_remaining -= joules
+
+    def admits(self, seconds: float, joules: float = 0.0) -> bool:
+        """Would this optional work still fit?"""
+        if seconds > self.remaining:
+            return False
+        if self.energy_remaining is not None and \
+                joules > self.energy_remaining:
+            return False
+        return True
+
+    def charge(self, seconds: float, joules: float = 0.0) -> bool:
+        """Charge optional work if it fits; returns whether it did."""
+        if not self.admits(seconds, joules):
+            return False
+        self.remaining -= seconds
+        if self.energy_remaining is not None:
+            self.energy_remaining -= joules
+        return True

@@ -1,0 +1,137 @@
+"""RA-ISAM2: the resource-aware incremental SLAM solver (Section 4.1).
+
+Each step:
+
+1. charge the budget with the mandatory work (incorporating the new pose
+   and factors),
+2. rank existing variables by relevance score (``‖delta_j‖∞``),
+3. greedily select variables whose Algorithm-1 cost estimate fits in the
+   remaining budget (most relevant first — amortizing loop closures over
+   several steps),
+4. run the incremental engine with exactly that relinearization set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.core.budget import StepBudget
+from repro.core.relevance import RelinCostEstimator, relevance_scores
+from repro.factorgraph.factors import Factor
+from repro.factorgraph.keys import Key
+from repro.factorgraph.values import Values
+from repro.hardware.power import PowerModel
+from repro.linalg.trace import OpTrace
+from repro.runtime.cost_model import NodeCostModel
+from repro.solvers.base import StepReport
+from repro.solvers.isam2 import IncrementalEngine
+
+
+class RAISAM2:
+    """Resource-aware incremental smoothing and mapping.
+
+    Parameters
+    ----------
+    cost_model:
+        Runtime cost model for the platform this solver budgets against.
+    target_seconds:
+        Per-step latency target (paper: 33.3 ms).
+    score_floor:
+        Variables below this relevance score are never candidates
+        (they would not have been relinearized by ISAM2 either).
+    safety:
+        Budget headroom for cost-model error (see :class:`StepBudget`).
+    energy_budget_joules / power_model:
+        Optional per-step energy cap (Section 7 extension).
+    selection_policy:
+        Candidate ordering: ``"relevance"`` (the paper's greedy
+        most-relevant-first), ``"fifo"`` (oldest variable first) or
+        ``"random"`` — the latter two exist for the selection ablation.
+    """
+
+    def __init__(self, cost_model: NodeCostModel,
+                 target_seconds: float = 1.0 / 30.0,
+                 score_floor: float = 0.01,
+                 safety: float = 0.85,
+                 wildfire_tol: float = 1e-5,
+                 max_supernode_vars: int = 8,
+                 damping: float = 0.0,
+                 energy_budget_joules: Optional[float] = None,
+                 power_model: Optional[PowerModel] = None,
+                 selection_policy: str = "relevance",
+                 selection_seed: int = 0):
+        if selection_policy not in ("relevance", "fifo", "random"):
+            raise ValueError(f"unknown policy {selection_policy!r}")
+        self.cost_model = cost_model
+        self.target_seconds = float(target_seconds)
+        self.score_floor = float(score_floor)
+        self.safety = float(safety)
+        self.selection_policy = selection_policy
+        self._selection_rng = __import__("random").Random(selection_seed)
+        self.energy_budget_joules = energy_budget_joules
+        self.power_model = power_model or PowerModel()
+        self.engine = IncrementalEngine(
+            max_supernode_vars=max_supernode_vars,
+            wildfire_tol=wildfire_tol, damping=damping)
+        self._step = -1
+
+    def _estimate_energy(self, seconds: float) -> float:
+        """Coarse energy estimate: average power x time."""
+        return self.power_model.peak_watts * 0.7 * seconds
+
+    def update(self, new_values: Dict[Key, object],
+               new_factors: Sequence[Factor],
+               trace: OpTrace = None) -> StepReport:
+        """One resource-aware backend step."""
+        self._step += 1
+        budget = StepBudget(self.target_seconds, self.safety,
+                            self.energy_budget_joules)
+        estimator = RelinCostEstimator(
+            self.engine, self.cost_model,
+            numeric_speedup=self.cost_model.step_speedup())
+
+        # Mandatory work: new factors must be incorporated this step.
+        touched: Set[Key] = set()
+        for factor in new_factors:
+            touched.update(k for k in factor.keys
+                           if k in self.engine.pos_of)
+        mandatory = estimator.mandatory_cost(touched)
+        mandatory += self.cost_model.relin_seconds(len(new_factors))
+        budget.charge_mandatory(mandatory,
+                                self._estimate_energy(mandatory))
+
+        # Greedy selection, ranked by the configured policy.
+        candidates = relevance_scores(self.engine, self.score_floor)
+        if self.selection_policy == "fifo":
+            candidates = sorted(candidates, key=lambda pair: pair[1])
+        elif self.selection_policy == "random":
+            candidates = list(candidates)
+            self._selection_rng.shuffle(candidates)
+        selected = []
+        deferred = 0
+        charged = mandatory
+        for score, key in candidates:
+            cost = estimator.relin_cost(key)
+            if budget.charge(cost, self._estimate_energy(cost)):
+                selected.append(key)
+                charged += cost
+            else:
+                deferred += 1
+
+        info = self.engine.update(new_values, new_factors, selected,
+                                  trace=trace)
+        return StepReport(
+            step=self._step,
+            relinearized_variables=info["relinearized_variables"],
+            relinearized_factors=info["relinearized_factors"],
+            affected_columns=info["affected_columns"],
+            refactored_nodes=info["refactored_nodes"],
+            trace=trace,
+            selection_visits=estimator.visits,
+            deferred_variables=deferred,
+            node_parents=self.engine.node_parents(info["fresh_sids"]),
+            extras={"estimated_seconds": charged},
+        )
+
+    def estimate(self) -> Values:
+        return self.engine.estimate()

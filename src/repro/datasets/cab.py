@@ -1,0 +1,197 @@
+"""CAB1/CAB2: synthetic LaMAR-CAB substitutes (AR headset sessions).
+
+The real CAB datasets are AR captures inside the ETH CAB building with
+factors created by covisibility of common landmarks; the raw data is not
+redistributable, so we generate the closest structural equivalent
+(DESIGN.md documents the substitution):
+
+* a walker traverses the corridor lattice of a square floorplan,
+* visual landmarks line the corridors; poses observing a common landmark
+  get a relative-pose factor (covisibility),
+* CAB2 concatenates several sessions into one long trajectory — a later
+  session walking an earlier session's corridor produces bursts of
+  cross-session loop closures, the paper's hardest latency case.
+
+Published statistics matched at ``scale=1.0``:
+CAB1 — 464 steps, ~2287 edges, 1800 m^2; CAB2 — 3000 steps,
+~15144 edges, 6000 m^2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.pose_graph import PoseGraphDataset, TimeStep
+from repro.factorgraph.factors import BetweenFactorSE3, PriorFactorSE3
+from repro.factorgraph.noise import DiagonalNoise
+from repro.geometry.se3 import SE3
+from repro.geometry.so3 import SO3
+
+_EYE_HEIGHT = 1.6
+
+
+def _pose_at(x: float, y: float, heading: float, bob: float) -> SE3:
+    """Headset pose: planar position + heading, with head-height bob."""
+    rot = SO3.exp([0.0, 0.0, heading])
+    return SE3(rot, np.array([x, y, _EYE_HEIGHT + bob]))
+
+
+def _corridor_walk(rng, extent: float, spacing: float,
+                   num_steps: int, start: Tuple[float, float],
+                   straight_bias: float = 0.85) -> List[Tuple[float, float,
+                                                              float]]:
+    """Walk the corridor lattice in 1 m increments.
+
+    Returns (x, y, heading) per step.  Turns happen only at lattice
+    intersections; ``straight_bias`` keeps corridors walked end to end.
+    """
+    headings = [0.0, math.pi / 2.0, math.pi, -math.pi / 2.0]
+    direction = int(rng.integers(0, 4))
+    x, y = start
+    out = [(x, y, headings[direction])]
+    for _ in range(num_steps - 1):
+        at_node = (abs(x % spacing) < 1e-6 and abs(y % spacing) < 1e-6)
+        if at_node and rng.random() > straight_bias:
+            direction = (direction + int(rng.choice([1, 3]))) % 4
+        theta = headings[direction]
+        nx = x + math.cos(theta)
+        ny = y + math.sin(theta)
+        # Bounce off the building walls.
+        tries = 0
+        while not (0.0 <= nx <= extent and 0.0 <= ny <= extent):
+            direction = (direction + int(rng.choice([1, 2, 3]))) % 4
+            theta = headings[direction]
+            nx = x + math.cos(theta)
+            ny = y + math.sin(theta)
+            tries += 1
+            if tries > 8:
+                nx, ny = x, y
+                break
+        x, y = round(nx, 9), round(ny, 9)
+        out.append((x, y, headings[direction]))
+    return out
+
+
+def _cab_dataset(
+    name: str,
+    extent: float,
+    sessions: int,
+    steps_per_session: int,
+    seed: int,
+    scale: float,
+    covis_radius: float = 5.0,
+    recent_edges: int = 4,
+    revisit_edges: int = 2,
+    revisit_gap: int = 60,
+    revisit_cooldown: int = 10,
+    corridor_spacing: float = 7.0,
+    trans_sigma: float = 0.05,
+    rot_sigma: float = 0.02,
+) -> PoseGraphDataset:
+    rng = np.random.default_rng(seed)
+    total = max(2, int(round(sessions * steps_per_session * scale)))
+    per_session = max(2, total // sessions)
+    sigmas = np.array([trans_sigma] * 3 + [rot_sigma] * 3)
+    noise = DiagonalNoise(sigmas)
+    reloc_noise = DiagonalNoise([0.1] * 3 + [0.05] * 3)
+    prior_noise = DiagonalNoise([1e-3] * 3 + [1e-4] * 3)
+
+    # Ground-truth walk, session by session.
+    truth: List[SE3] = []
+    session_starts: List[int] = []
+    entries = [(0.0, 0.0), (corridor_spacing, 0.0),
+               (0.0, corridor_spacing)]
+    key = 0
+    planar: List[Tuple[float, float, float]] = []
+    for s in range(sessions):
+        remaining = total - len(planar)
+        if remaining <= 0:
+            break
+        session_starts.append(len(planar))
+        count = min(per_session, remaining) if s < sessions - 1 \
+            else remaining
+        start = entries[s % len(entries)]
+        planar.extend(_corridor_walk(rng, extent, corridor_spacing,
+                                     count, start))
+    for (x, y, theta) in planar:
+        truth.append(_pose_at(x, y, theta, 0.02 * rng.normal()))
+
+    # Spatial hash of poses for covisibility lookup (poses within
+    # covis_radius share corridor landmarks).
+    cell_size = covis_radius
+    cells: Dict[Tuple[int, int], List[int]] = {}
+
+    def cell_of(pose: SE3) -> Tuple[int, int]:
+        return (int(pose.t[0] // cell_size), int(pose.t[1] // cell_size))
+
+    steps: List[TimeStep] = []
+    guesses: List[SE3] = []
+    session_start_set = set(session_starts)
+    last_revisit = -10 ** 9
+    for i, pose in enumerate(truth):
+        factors = []
+        if i == 0:
+            guesses.append(pose)
+            factors.append(PriorFactorSE3(0, pose, prior_noise))
+        elif i in session_start_set:
+            # AR relocalization at session start: weak absolute prior
+            # (models localizing against the shared map) + noisy guess.
+            guess = pose.retract(rng.normal(size=6) * 0.05)
+            guesses.append(guess)
+            factors.append(PriorFactorSE3(i, guess, reloc_noise))
+        else:
+            rel = truth[i - 1].between(pose)
+            measured = rel.retract(rng.normal(size=6) * sigmas)
+            guesses.append(guesses[-1].compose(measured))
+            factors.append(BetweenFactorSE3(i - 1, i, measured, noise))
+
+        # Covisibility factors against nearby earlier poses.
+        cx, cy = cell_of(pose)
+        candidates: List[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                candidates.extend(cells.get((cx + dx, cy + dy), ()))
+        candidates = [j for j in candidates
+                      if j < i - 1
+                      and np.linalg.norm(truth[j].t[:2] - pose.t[:2])
+                      <= covis_radius]
+        candidates.sort()
+        # Short-range covisibility with the most recent poses is constant
+        # per step; genuine revisits (covisible poses older than
+        # ``revisit_gap``) fire bursts of loop closures, rate-limited by
+        # ``revisit_cooldown`` — matching AR covisibility structure.
+        recent = [j for j in candidates if i - j <= revisit_gap]
+        old = [j for j in candidates if i - j > revisit_gap]
+        picked = recent[-recent_edges:]
+        if old and i - last_revisit > revisit_cooldown:
+            picked += old[:revisit_edges]
+            last_revisit = i
+        for j in sorted(set(picked)):
+            rel = truth[j].between(pose)
+            measured = rel.retract(rng.normal(size=6) * sigmas)
+            factors.append(BetweenFactorSE3(j, i, measured, noise))
+        steps.append(TimeStep(key=i, guess=guesses[i], factors=factors))
+        cells.setdefault((cx, cy), []).append(i)
+
+    return PoseGraphDataset(
+        name=name,
+        steps=steps,
+        ground_truth={i: truth[i] for i in range(len(truth))},
+        is_3d=True,
+    )
+
+
+def cab1_dataset(scale: float = 1.0, seed: int = 11) -> PoseGraphDataset:
+    """Single AR session, 1800 m^2 (42 m x 42 m), 464 steps at scale 1."""
+    return _cab_dataset("CAB1", extent=42.0, sessions=1,
+                        steps_per_session=464, seed=seed, scale=scale)
+
+
+def cab2_dataset(scale: float = 1.0, seed: int = 13) -> PoseGraphDataset:
+    """Five concatenated sessions, 6000 m^2 (77 m x 77 m), 3000 steps."""
+    return _cab_dataset("CAB2", extent=77.0, sessions=5,
+                        steps_per_session=600, seed=seed, scale=scale,
+                        recent_edges=4, revisit_edges=3)

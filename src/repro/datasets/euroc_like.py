@@ -1,0 +1,123 @@
+"""EuRoC-like visual-inertial trajectory generator.
+
+The paper's Figure 2 profiles a Kimera-style system on the EuRoC MAV
+dataset.  EuRoC's raw imagery cannot ship here, so this generates the
+structural equivalent at the backend level: a smooth, aggressive 3D
+drone trajectory through a room-scale volume, keyframed at camera rate,
+with covisibility factors among recent keyframes and loop closures when
+the MAV re-enters a previously seen region.
+
+The class also models the *frontend* (feature tracking + IMU
+preintegration) as a small per-frame cost with low variance — the
+contrast Figure 2 draws against the wildly varying backend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.datasets.pose_graph import PoseGraphDataset, TimeStep
+from repro.factorgraph.factors import BetweenFactorSE3, PriorFactorSE3
+from repro.factorgraph.noise import DiagonalNoise
+from repro.geometry.se3 import SE3
+from repro.geometry.so3 import SO3
+
+
+def _lissajous_position(t: float, extent: float) -> np.ndarray:
+    """A smooth aggressive figure-eight-ish trajectory in a room."""
+    return extent * np.array([
+        math.sin(2.0 * t),
+        math.sin(3.0 * t + 0.5),
+        0.35 + 0.25 * math.sin(5.0 * t),
+    ])
+
+
+def euroc_like_dataset(
+    scale: float = 1.0,
+    seed: int = 17,
+    extent: float = 4.0,
+    keyframes: int = 600,
+    covis_window: int = 5,
+    closure_radius: float = 0.8,
+    closure_gap: int = 60,
+    trans_sigma: float = 0.02,
+    rot_sigma: float = 0.01,
+) -> PoseGraphDataset:
+    """Generate the EuRoC substitute (a "MH"-style machine-hall run)."""
+    num_steps = max(2, int(round(keyframes * scale)))
+    rng = np.random.default_rng(seed)
+    sigmas = np.array([trans_sigma] * 3 + [rot_sigma] * 3)
+    noise = DiagonalNoise(sigmas)
+    prior_noise = DiagonalNoise([1e-3] * 3 + [1e-4] * 3)
+
+    truth: List[SE3] = []
+    dt = 4.0 * math.pi / num_steps
+    for i in range(num_steps):
+        t = i * dt
+        position = _lissajous_position(t, extent)
+        nxt = _lissajous_position(t + dt, extent)
+        heading = math.atan2(nxt[1] - position[1], nxt[0] - position[0])
+        rot = SO3.from_rpy(0.05 * math.sin(3.0 * t),
+                           0.05 * math.cos(2.0 * t), heading)
+        truth.append(SE3(rot, position))
+
+    steps: List[TimeStep] = [TimeStep(
+        key=0, guess=truth[0],
+        factors=[PriorFactorSE3(0, truth[0], prior_noise)])]
+    guesses = [truth[0]]
+    last_closure = -10 ** 9
+    for i in range(1, num_steps):
+        rel = truth[i - 1].between(truth[i])
+        measured = rel.retract(rng.normal(size=6) * sigmas)
+        guesses.append(guesses[-1].compose(measured))
+        factors = [BetweenFactorSE3(i - 1, i, measured, noise)]
+        # Covisibility with the recent keyframe window (VIO smart
+        # factors collapse to relative constraints at the backend).
+        for j in range(max(0, i - covis_window), i - 1):
+            rel_j = truth[j].between(truth[i])
+            factors.append(BetweenFactorSE3(
+                j, i, rel_j.retract(rng.normal(size=6) * sigmas), noise))
+        # Loop closure on revisit.
+        if i - last_closure > 20:
+            for j in range(0, i - closure_gap):
+                if np.linalg.norm(truth[j].t - truth[i].t) \
+                        < closure_radius:
+                    rel_j = truth[j].between(truth[i])
+                    factors.append(BetweenFactorSE3(
+                        j, i,
+                        rel_j.retract(rng.normal(size=6) * sigmas),
+                        noise))
+                    last_closure = i
+                    break
+        steps.append(TimeStep(key=i, guess=guesses[i], factors=factors))
+
+    return PoseGraphDataset(
+        name="EuRoC-like",
+        steps=steps,
+        ground_truth={i: truth[i] for i in range(num_steps)},
+        is_3d=True,
+    )
+
+
+class FrontendModel:
+    """Per-frame frontend latency (feature tracking + preintegration).
+
+    Near-constant work per frame: a fixed feature budget tracked with
+    small jitter, unlike the backend whose cost depends on the map.
+    """
+
+    def __init__(self, base_ms: float = 3.5, jitter_ms: float = 0.4,
+                 seed: int = 0):
+        self.base_ms = float(base_ms)
+        self.jitter_ms = float(jitter_ms)
+        self._rng = np.random.default_rng(seed)
+
+    def frame_seconds(self) -> float:
+        jitter = self._rng.uniform(-self.jitter_ms, self.jitter_ms)
+        return 1e-3 * max(0.1, self.base_ms + jitter)
+
+    def sequence_seconds(self, num_frames: int) -> List[float]:
+        return [self.frame_seconds() for _ in range(num_frames)]

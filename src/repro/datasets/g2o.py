@@ -1,0 +1,148 @@
+"""g2o pose-graph file I/O.
+
+Supports the two standard tags used by 2D/3D pose-graph benchmarks:
+``VERTEX_SE2`` / ``EDGE_SE2`` and ``VERTEX_SE3:QUAT`` / ``EDGE_SE3:QUAT``.
+Information matrices are stored as the upper-triangular row-major list,
+as g2o does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.factorgraph.factors import (
+    BetweenFactorSE2,
+    BetweenFactorSE3,
+    Factor,
+)
+from repro.factorgraph.noise import GaussianNoise
+from repro.factorgraph.values import Values
+from repro.geometry.se2 import SE2
+from repro.geometry.se3 import SE3
+from repro.geometry.so3 import SO3
+
+
+def _info_to_upper(info: np.ndarray) -> List[float]:
+    dim = info.shape[0]
+    return [float(info[i, j]) for i in range(dim) for j in range(i, dim)]
+
+
+def _upper_to_info(values: List[float], dim: int) -> np.ndarray:
+    info = np.zeros((dim, dim))
+    cursor = 0
+    for i in range(dim):
+        for j in range(i, dim):
+            info[i, j] = values[cursor]
+            info[j, i] = values[cursor]
+            cursor += 1
+    return info
+
+
+def _quat_to_so3(qx: float, qy: float, qz: float, qw: float) -> SO3:
+    q = np.array([qw, qx, qy, qz])
+    q = q / np.linalg.norm(q)
+    w, x, y, z = q
+    mat = np.array([
+        [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+        [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+        [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+    ])
+    return SO3(mat)
+
+
+def _so3_to_quat(rot: SO3) -> Tuple[float, float, float, float]:
+    mat = rot.matrix()
+    trace = float(np.trace(mat))
+    if trace > 0:
+        s = 0.5 / np.sqrt(trace + 1.0)
+        w = 0.25 / s
+        x = (mat[2, 1] - mat[1, 2]) * s
+        y = (mat[0, 2] - mat[2, 0]) * s
+        z = (mat[1, 0] - mat[0, 1]) * s
+    else:
+        k = int(np.argmax(np.diag(mat)))
+        i, j = (k + 1) % 3, (k + 2) % 3
+        s = 2.0 * np.sqrt(max(1e-12, 1.0 + mat[k, k] - mat[i, i]
+                              - mat[j, j]))
+        vec = np.zeros(3)
+        vec[k] = 0.25 * s
+        vec[i] = (mat[i, k] + mat[k, i]) / s
+        vec[j] = (mat[j, k] + mat[k, j]) / s
+        w = (mat[j, i] - mat[i, j]) / s
+        x, y, z = vec
+    return x, y, z, w
+
+
+def write_g2o(path: str, values: Values, factors: List[Factor]) -> None:
+    """Write SE2/SE3 vertices and between-factor edges to a g2o file."""
+    with open(path, "w") as handle:
+        for key in sorted(values.keys()):
+            pose = values.at(key)
+            if isinstance(pose, SE2):
+                handle.write(f"VERTEX_SE2 {key} {pose.x:.9f} {pose.y:.9f} "
+                             f"{pose.theta:.9f}\n")
+            elif isinstance(pose, SE3):
+                qx, qy, qz, qw = _so3_to_quat(pose.rot)
+                t = pose.t
+                handle.write(
+                    f"VERTEX_SE3:QUAT {key} {t[0]:.9f} {t[1]:.9f} "
+                    f"{t[2]:.9f} {qx:.9f} {qy:.9f} {qz:.9f} {qw:.9f}\n")
+            else:
+                raise TypeError(f"cannot serialize {type(pose).__name__}")
+        for factor in factors:
+            if isinstance(factor, BetweenFactorSE2):
+                info = np.linalg.inv(factor.noise.covariance)
+                fields = [factor.measured.x, factor.measured.y,
+                          factor.measured.theta] + _info_to_upper(info)
+                body = " ".join(f"{v:.9f}" for v in fields)
+                handle.write(f"EDGE_SE2 {factor.keys[0]} "
+                             f"{factor.keys[1]} {body}\n")
+            elif isinstance(factor, BetweenFactorSE3):
+                info = np.linalg.inv(factor.noise.covariance)
+                qx, qy, qz, qw = _so3_to_quat(factor.measured.rot)
+                t = factor.measured.t
+                fields = [t[0], t[1], t[2], qx, qy, qz, qw] \
+                    + _info_to_upper(info)
+                body = " ".join(f"{v:.9f}" for v in fields)
+                handle.write(f"EDGE_SE3:QUAT {factor.keys[0]} "
+                             f"{factor.keys[1]} {body}\n")
+            # Priors and other factor types are not part of g2o.
+
+
+def read_g2o(path: str) -> Tuple[Values, List[Factor]]:
+    """Read a g2o file into (initial values, between factors)."""
+    values = Values()
+    factors: List[Factor] = []
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if not parts:
+                continue
+            tag = parts[0]
+            if tag == "VERTEX_SE2":
+                key = int(parts[1])
+                x, y, theta = (float(v) for v in parts[2:5])
+                values.insert(key, SE2(x, y, theta))
+            elif tag == "VERTEX_SE3:QUAT":
+                key = int(parts[1])
+                nums = [float(v) for v in parts[2:9]]
+                rot = _quat_to_so3(*nums[3:])
+                values.insert(key, SE3(rot, np.array(nums[:3])))
+            elif tag == "EDGE_SE2":
+                a, b = int(parts[1]), int(parts[2])
+                nums = [float(v) for v in parts[3:]]
+                measured = SE2(nums[0], nums[1], nums[2])
+                info = _upper_to_info(nums[3:], 3)
+                noise = GaussianNoise(np.linalg.inv(info))
+                factors.append(BetweenFactorSE2(a, b, measured, noise))
+            elif tag == "EDGE_SE3:QUAT":
+                a, b = int(parts[1]), int(parts[2])
+                nums = [float(v) for v in parts[3:]]
+                rot = _quat_to_so3(*nums[3:7])
+                measured = SE3(rot, np.array(nums[:3]))
+                info = _upper_to_info(nums[7:], 6)
+                noise = GaussianNoise(np.linalg.inv(info))
+                factors.append(BetweenFactorSE3(a, b, measured, noise))
+    return values, factors

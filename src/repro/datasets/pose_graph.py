@@ -1,0 +1,77 @@
+"""Online pose-graph dataset containers.
+
+A dataset is a sequence of :class:`TimeStep`: at each step the system
+adds one new pose (with an odometry-dead-reckoned initial guess) and all
+factors that arrived with it — odometry plus any loop closures, matching
+the paper's "a new pose is added at each step, along with all the
+associated factors" protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.factorgraph.factors import Factor
+from repro.factorgraph.keys import Key
+
+
+@dataclass
+class TimeStep:
+    """One online step: the new pose and its factors."""
+
+    key: Key
+    guess: object                    # SE2/SE3 initial estimate
+    factors: List[Factor] = field(default_factory=list)
+
+    @property
+    def closures(self) -> List[Factor]:
+        """Factors reaching back beyond the previous pose."""
+        return [f for f in self.factors
+                if len(f.keys) == 2 and abs(f.keys[1] - f.keys[0]) > 1]
+
+
+@dataclass
+class PoseGraphDataset:
+    """A complete online SLAM workload.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``M3500``, ``Sphere``, ``CAB1``, ``CAB2``).
+    steps:
+        Per-timestep additions.
+    ground_truth:
+        Noise-free pose per key (the metric reference).
+    is_3d:
+        SE(3) dataset if True, SE(2) otherwise.
+    """
+
+    name: str
+    steps: List[TimeStep]
+    ground_truth: Dict[Key, object]
+    is_3d: bool
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_edges(self) -> int:
+        """Total factor count (the paper's 'edges')."""
+        return sum(len(step.factors) for step in self.steps)
+
+    @property
+    def num_closures(self) -> int:
+        return sum(len(step.closures) for step in self.steps)
+
+    def truncated(self, num_steps: int) -> "PoseGraphDataset":
+        """Prefix of the dataset (used for scaled-down benchmarks)."""
+        steps = self.steps[:num_steps]
+        keys = {step.key for step in steps}
+        truth = {k: v for k, v in self.ground_truth.items() if k in keys}
+        return PoseGraphDataset(self.name, steps, truth, self.is_3d)
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.num_steps} steps, "
+                f"{self.num_edges} edges, {self.num_closures} closures")

@@ -1,0 +1,88 @@
+"""Sphere-style 3D pose graph generator.
+
+Poses spiral down a sphere surface ring by ring; every pose closes a loop
+against the pose directly above it on the previous ring.  The graph is
+*dense* with high rotational noise and large supernodes — the structure
+behind Sphere's big frontal matrices in the paper's evaluation.
+
+At ``scale=1.0``: 2000 steps and ~3950 edges (paper: 2K steps, 3951).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.datasets.pose_graph import PoseGraphDataset, TimeStep
+from repro.factorgraph.factors import BetweenFactorSE3, PriorFactorSE3
+from repro.factorgraph.noise import DiagonalNoise
+from repro.geometry.se3 import SE3
+from repro.geometry.so3 import SO3
+
+
+def _sphere_pose(radius: float, azimuth: float, inclination: float) -> SE3:
+    """Camera pose on the sphere surface, z-axis facing outward."""
+    position = radius * np.array([
+        math.sin(inclination) * math.cos(azimuth),
+        math.sin(inclination) * math.sin(azimuth),
+        math.cos(inclination),
+    ])
+    # Heading tangent to the ring (direction of travel).
+    rot = (SO3.exp([0.0, 0.0, azimuth])
+           .compose(SO3.exp([0.0, inclination, 0.0])))
+    return SE3(rot, position)
+
+
+def sphere_dataset(
+    scale: float = 1.0,
+    seed: int = 7,
+    radius: float = 25.0,
+    poses_per_ring: int = 50,
+    trans_sigma: float = 0.05,
+    rot_sigma: float = 0.05,
+) -> PoseGraphDataset:
+    """Generate the Sphere substitute.
+
+    ``rot_sigma`` is deliberately high (the paper calls Sphere a dense
+    dataset with high rotational noise).
+    """
+    num_steps = max(2, int(round(2000 * scale)))
+    rng = np.random.default_rng(seed)
+    sigmas = np.array([trans_sigma] * 3 + [rot_sigma] * 3)
+    noise = DiagonalNoise(sigmas)
+    prior_noise = DiagonalNoise([1e-3] * 3 + [1e-4] * 3)
+
+    rings = int(math.ceil(num_steps / poses_per_ring)) + 1
+    truth: List[SE3] = []
+    for i in range(num_steps):
+        ring = i // poses_per_ring
+        slot = i % poses_per_ring
+        azimuth = 2.0 * math.pi * slot / poses_per_ring
+        inclination = math.pi * (ring + 1) / (rings + 1)
+        truth.append(_sphere_pose(radius, azimuth, inclination))
+
+    steps: List[TimeStep] = [TimeStep(
+        key=0, guess=truth[0],
+        factors=[PriorFactorSE3(0, truth[0], prior_noise)])]
+    guesses: List[SE3] = [truth[0]]
+    for i in range(1, num_steps):
+        rel = truth[i - 1].between(truth[i])
+        measured = rel.retract(rng.normal(size=6) * sigmas)
+        guesses.append(guesses[-1].compose(measured))
+        factors = [BetweenFactorSE3(i - 1, i, measured, noise)]
+        # Close against the pose directly above (previous ring).
+        above = i - poses_per_ring
+        if above >= 0:
+            rel_up = truth[above].between(truth[i])
+            meas_up = rel_up.retract(rng.normal(size=6) * sigmas)
+            factors.append(BetweenFactorSE3(above, i, meas_up, noise))
+        steps.append(TimeStep(key=i, guess=guesses[i], factors=factors))
+
+    return PoseGraphDataset(
+        name="Sphere",
+        steps=steps,
+        ground_truth={i: truth[i] for i in range(num_steps)},
+        is_3d=True,
+    )

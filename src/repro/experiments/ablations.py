@@ -1,0 +1,135 @@
+"""Ablation harnesses for the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core import RAISAM2
+from repro.datasets import run_online
+from repro.experiments.common import (
+    ERROR_EVERY,
+    dataset,
+    format_table,
+    reference_trajectory,
+    target_for,
+)
+from repro.hardware import supernova_soc
+from repro.linalg.ordering import minimum_degree_order
+from repro.linalg.symbolic import SymbolicFactorization
+from repro.runtime import NodeCostModel
+from repro.solvers import ISAM2
+
+
+def ordering_ablation(name: str = "M3500") -> Dict[str, Dict[str, float]]:
+    """Chronological vs minimum-degree elimination ordering.
+
+    Minimum degree minimizes batch fill; chronological enables the
+    incremental engine (parents stay stable under additions) and puts new
+    work near the root.  Reports the fill (scalar nnz in L) and tree
+    height under each ordering of the final graph.
+    """
+    data = dataset(name)
+    keys = sorted(data.ground_truth.keys())
+    dims = {k: data.ground_truth[k].dim for k in keys}
+    factor_keys = [tuple(f.keys) for step in data.steps
+                   for f in step.factors]
+    results: Dict[str, Dict[str, float]] = {}
+
+    orders = {
+        "chronological": keys,
+        "minimum_degree": minimum_degree_order(keys, factor_keys),
+    }
+    for label, order in orders.items():
+        pos = {k: i for i, k in enumerate(order)}
+        positions = [sorted(pos[k] for k in fk) for fk in factor_keys]
+        symbolic = SymbolicFactorization([dims[k] for k in order],
+                                         positions)
+        results[label] = {
+            "fill_nnz": float(symbolic.fill_nnz()),
+            "tree_height": float(symbolic.tree_height()),
+            "supernodes": float(len(symbolic.supernodes)),
+        }
+    return results
+
+
+def amalgamation_ablation(
+    name: str = "Sphere",
+    supernode_sizes: Sequence[int] = (1, 4, 8, 16),
+) -> Dict[int, float]:
+    """Numeric latency vs the supernode amalgamation cap.
+
+    Tiny supernodes waste accelerator utilization on per-node overheads;
+    huge ones blow up the frontal workspaces.  Returns the summed numeric
+    latency on 2 SuperNoVA sets per cap.
+    """
+    soc = supernova_soc(2)
+    results: Dict[int, float] = {}
+    for cap in supernode_sizes:
+        solver = ISAM2(relin_threshold=0.05, max_supernode_vars=cap)
+        run = run_online(solver, dataset(name), soc=soc,
+                         collect_errors=False)
+        results[cap] = sum(lat.numeric for lat in run.latencies)
+    return results
+
+
+def selection_policy_ablation(
+    name: str = "M3500",
+    policies: Sequence[str] = ("relevance", "fifo", "random"),
+) -> Dict[str, Dict[str, float]]:
+    """Relevance-ranked greedy selection vs FIFO and random ordering.
+
+    All policies get the same budget; ranking by relevance score should
+    win on accuracy because the most-drifted variables carry the largest
+    linearization error (paper Section 4.1's intuition).
+    """
+    soc = supernova_soc(1)
+    results: Dict[str, Dict[str, float]] = {}
+    for policy in policies:
+        solver = RAISAM2(NodeCostModel(soc),
+                         target_seconds=0.3 * target_for(name),
+                         selection_policy=policy)
+        run = run_online(solver, dataset(name), soc=soc,
+                         collect_errors=True, error_every=ERROR_EVERY,
+                         reference=reference_trajectory(name))
+        results[policy] = {
+            "irmse": run.irmse,
+            "max": run.max_over_steps,
+            "deferred": float(sum(r.deferred_variables
+                                  for r in run.reports)),
+        }
+    return results
+
+
+def cost_model_fidelity(name: str = "CAB2",
+                        sets: int = 2) -> Dict[str, float]:
+    """Algorithm-1 estimates vs realized scheduled latency.
+
+    The selection pass budgets with the analytic node cost model; this
+    ablation reports how the per-step estimated charge compares with the
+    executor's realized numeric+symbolic+relin latency.
+    """
+    soc = supernova_soc(sets)
+    solver = RAISAM2(NodeCostModel(soc), target_seconds=target_for(name))
+    run = run_online(solver, dataset(name), soc=soc, collect_errors=False)
+    estimated: List[float] = []
+    realized: List[float] = []
+    for report, latency in zip(run.reports, run.latencies):
+        est = report.extras.get("estimated_seconds")
+        if est is None or est <= 0:
+            continue
+        estimated.append(est)
+        realized.append(latency.total - latency.overhead)
+    estimated_arr = np.asarray(estimated)
+    realized_arr = np.asarray(realized)
+    ratio = estimated_arr / np.maximum(realized_arr, 1e-12)
+    corr = float(np.corrcoef(estimated_arr, realized_arr)[0, 1]) \
+        if len(estimated_arr) > 2 else 1.0
+    return {
+        "steps": float(len(estimated_arr)),
+        "mean_ratio": float(np.mean(ratio)),
+        "p10_ratio": float(np.percentile(ratio, 10)),
+        "correlation": corr,
+        "underestimates": float(np.mean(ratio < 1.0)),
+    }

@@ -1,0 +1,111 @@
+"""Table 4 and Figure 12 harnesses: accuracy comparison of all methods."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets import OnlineRun, run_online
+from repro.experiments.common import (
+    DATASETS,
+    ERROR_EVERY,
+    dataset,
+    format_table,
+    isam2_run,
+    ra_run,
+    reference_trajectory,
+)
+from repro.solvers import FixedLagSmoother, LocalGlobal
+
+# Paper Section 5.5: VIO-style fixed-lag smoother with window 20.
+LOCAL_WINDOW = 20
+
+
+@lru_cache(maxsize=None)
+def local_run(name: str) -> OnlineRun:
+    solver = FixedLagSmoother(window=LOCAL_WINDOW)
+    return run_online(solver, dataset(name), collect_errors=True,
+                      error_every=ERROR_EVERY,
+                      reference=reference_trajectory(name))
+
+
+@lru_cache(maxsize=None)
+def local_global_run(name: str) -> OnlineRun:
+    solver = LocalGlobal(window=LOCAL_WINDOW, lc_gap=30)
+    return run_online(solver, dataset(name), collect_errors=True,
+                      error_every=ERROR_EVERY,
+                      reference=reference_trajectory(name))
+
+
+def method_runs(name: str) -> Dict[str, OnlineRun]:
+    """All Table 4 columns for one dataset."""
+    return {
+        "Local": local_run(name),
+        "Local+Global": local_global_run(name),
+        "RACPU": ra_run(name, 1, platform="cpu"),
+        "RA1S": ra_run(name, 1),
+        "RA2S": ra_run(name, 2),
+        "RA4S": ra_run(name, 4),
+        "In": isam2_run(name),
+    }
+
+
+def table4(datasets: Sequence[str] = DATASETS,
+           ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """MAX and iRMSE per method per dataset (paper Table 4)."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in datasets:
+        results[name] = {
+            method: {"max": run.max_over_steps, "irmse": run.irmse}
+            for method, run in method_runs(name).items()
+        }
+    return results
+
+
+def table4_table(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    methods = ["Local", "Local+Global", "RACPU", "RA1S", "RA2S", "RA4S",
+               "In"]
+    headers = ["Dataset", "Metric"] + methods
+    rows: List[List[str]] = []
+    for name, entry in results.items():
+        rows.append([name, "MAX"] + [f"{entry[m]['max']:.4g}"
+                                     for m in methods])
+        rows.append([name, "iRMSE"] + [f"{entry[m]['irmse']:.4g}"
+                                       for m in methods])
+    return format_table(headers, rows)
+
+
+def figure12(name: str,
+             methods: Sequence[str] = ("Local", "Local+Global", "RA2S",
+                                       "In"),
+             ) -> Dict[str, Tuple[List[float], List[float]]]:
+    """Per-step (max_error, rmse) series per method (paper Fig. 12)."""
+    runs = method_runs(name)
+    return {method: (runs[method].step_max_error, runs[method].step_rmse)
+            for method in methods}
+
+
+def figure12_summary(series: Dict[str, Tuple[List[float], List[float]]],
+                     ) -> str:
+    from repro.experiments.common import sparkline
+
+    headers = ["Method", "peak MAX", "final MAX", "peak RMSE",
+               "final RMSE"]
+    rows = []
+    for method, (max_series, rmse_series) in series.items():
+        rows.append([
+            method,
+            f"{max(max_series):.4g}" if max_series else "-",
+            f"{max_series[-1]:.4g}" if max_series else "-",
+            f"{max(rmse_series):.4g}" if rmse_series else "-",
+            f"{rmse_series[-1]:.4g}" if rmse_series else "-",
+        ])
+    table = format_table(headers, rows)
+    everything = [v for _, rmse in series.values() for v in rmse
+                  if v > 0.0]
+    bounds = (min(everything), max(everything)) if everything else None
+    curves = ["", "per-step RMSE (log scale, shared across methods):"]
+    for method, (_, rmse_series) in series.items():
+        curves.append(
+            f"  {method:<13}|{sparkline(rmse_series, bounds=bounds)}|")
+    return table + "\n" + "\n".join(curves)

@@ -1,0 +1,92 @@
+"""Design-space exploration of the SuperNoVA SoC.
+
+Paper Section 4.2: "SoC components, including the accelerator
+configuration and the number of accelerators and CPU tiles, are all
+configurable at design time."  This harness sweeps the configurable axes
+(systolic array dimension, accelerator sets) against one workload's
+traces and reports the latency/area trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import format_table, isam2_run, price_run
+from repro.hardware import ComputeAccelerator, MemoryAccelerator
+from repro.hardware.area import AREA_TABLE
+from repro.hardware.platforms import SoCConfig, rocket_cpu
+
+
+def _soc(systolic_dim: int, accel_sets: int) -> SoCConfig:
+    return SoCConfig(
+        f"Nova-{systolic_dim}x{systolic_dim}-{accel_sets}S",
+        host=rocket_cpu(),
+        accel_sets=accel_sets,
+        cpu_tiles=accel_sets,
+        comp=ComputeAccelerator(systolic_dim=systolic_dim),
+        mem=MemoryAccelerator(),
+        frequency_hz=1.0e9,
+    )
+
+
+def _area_estimate(systolic_dim: int, accel_sets: int) -> float:
+    """Area in um^2: the mesh scales quadratically with the array dim."""
+    base_mesh = AREA_TABLE["comp_mesh"]
+    mesh = base_mesh * (systolic_dim / 4.0) ** 2
+    comp = AREA_TABLE["comp_tile"] - base_mesh + mesh
+    per_set = comp + AREA_TABLE["mem_tile"]
+    return accel_sets * (per_set + AREA_TABLE["rocket_cpu_tile"])
+
+
+def design_space_sweep(
+    dataset_name: str = "CAB2",
+    systolic_dims: Sequence[int] = (2, 4, 8),
+    set_counts: Sequence[int] = (1, 2, 4),
+) -> Dict[Tuple[int, int], Dict[str, float]]:
+    """Numeric latency and area per (systolic_dim, accel_sets) point."""
+    run = isam2_run(dataset_name)
+    results: Dict[Tuple[int, int], Dict[str, float]] = {}
+    for dim in systolic_dims:
+        for sets in set_counts:
+            soc = _soc(dim, sets)
+            latencies = price_run(run, soc)
+            results[(dim, sets)] = {
+                "numeric_seconds": sum(lat.numeric for lat in latencies),
+                "total_seconds": sum(lat.total for lat in latencies),
+                "area_um2": _area_estimate(dim, sets),
+            }
+    return results
+
+
+def pareto_points(results: Dict[Tuple[int, int], Dict[str, float]],
+                  ) -> List[Tuple[int, int]]:
+    """Configurations not dominated in (numeric latency, area)."""
+    points = []
+    for config, entry in results.items():
+        dominated = any(
+            other["numeric_seconds"] <= entry["numeric_seconds"]
+            and other["area_um2"] <= entry["area_um2"]
+            and (other["numeric_seconds"] < entry["numeric_seconds"]
+                 or other["area_um2"] < entry["area_um2"])
+            for other in results.values())
+        if not dominated:
+            points.append(config)
+    return sorted(points)
+
+
+def design_space_table(results: Dict[Tuple[int, int], Dict[str, float]],
+                       ) -> str:
+    pareto = set(pareto_points(results))
+    headers = ["Config", "numeric (ms)", "area (um^2)",
+               "% of BOOM area", "Pareto"]
+    rows = []
+    boom = AREA_TABLE["boom_baseline"]
+    for (dim, sets), entry in sorted(results.items()):
+        rows.append([
+            f"{dim}x{dim}, {sets} sets",
+            f"{1e3 * entry['numeric_seconds']:.2f}",
+            f"{entry['area_um2']:.0f}",
+            f"{100.0 * entry['area_um2'] / boom:.0f}%",
+            "*" if (dim, sets) in pareto else "",
+        ])
+    return format_table(headers, rows)

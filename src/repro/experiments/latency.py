@@ -1,0 +1,133 @@
+"""Figure 8 and Figure 9 harnesses: platform latency comparison and the
+runtime parallelism ablation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    DATASETS,
+    format_table,
+    isam2_run,
+    price_run,
+)
+from repro.hardware import (
+    boom_cpu,
+    embedded_gpu,
+    mobile_cpu,
+    mobile_dsp,
+    server_cpu,
+    spatula_soc,
+    supernova_soc,
+)
+from repro.runtime import RuntimeFeatures
+
+FIG8_PLATFORMS = (
+    ("BOOM", boom_cpu),
+    ("MobileCPU", mobile_cpu),
+    ("MobileDSP", mobile_dsp),
+    ("ServerCPU", server_cpu),
+    ("EmbeddedGPU", embedded_gpu),
+    ("Spatula", lambda: spatula_soc(2)),
+    ("SuperNoVA", lambda: supernova_soc(2)),
+)
+
+
+def figure8(datasets: Sequence[str] = DATASETS,
+            ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Total and numeric backend latency per platform per dataset.
+
+    Runs the incremental baseline (ISAM2) once per dataset and prices the
+    identical operation traces on all seven platforms — exactly the
+    paper's setup ("comparing its processing latency with the existing
+    hardware platforms when processing the same incremental baseline").
+    """
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in datasets:
+        run = isam2_run(name)
+        per_platform: Dict[str, Dict[str, float]] = {}
+        for label, factory in FIG8_PLATFORMS:
+            latencies = price_run(run, factory())
+            per_platform[label] = {
+                "total": sum(lat.total for lat in latencies),
+                "numeric": sum(lat.numeric for lat in latencies),
+            }
+        results[name] = per_platform
+    return results
+
+
+def normalize_to(results: Dict[str, Dict[str, Dict[str, float]]],
+                 reference: str = "BOOM",
+                 ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Normalize every platform's latency by the reference (Fig. 8 Y-axis)."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, platforms in results.items():
+        base = platforms[reference]
+        out[name] = {
+            label: {metric: (value / base[metric] if base[metric] else 0.0)
+                    for metric, value in entry.items()}
+            for label, entry in platforms.items()
+        }
+    return out
+
+
+def latency_reduction(results: Dict[str, Dict[str, Dict[str, float]]],
+                      ours: str, baseline: str,
+                      metric: str = "total") -> Dict[str, float]:
+    """Percent latency reduction of ``ours`` vs ``baseline`` per dataset."""
+    out = {}
+    for name, platforms in results.items():
+        base = platforms[baseline][metric]
+        val = platforms[ours][metric]
+        out[name] = 100.0 * (1.0 - val / base) if base else 0.0
+    return out
+
+
+def figure8_table(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    normalized = normalize_to(results)
+    headers = ["Platform"] + [f"{d} ({m})" for d in results
+                              for m in ("total", "numeric")]
+    rows: List[List[str]] = []
+    for label, _ in FIG8_PLATFORMS:
+        row = [label]
+        for name in results:
+            entry = normalized[name][label]
+            row.append(f"{entry['total']:.3f}")
+            row.append(f"{entry['numeric']:.3f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+FIG9_CONFIGS = (
+    ("no parallelism", RuntimeFeatures(False, False, False)),
+    ("+hetero overlap", RuntimeFeatures(True, False, False)),
+    ("+inter-node", RuntimeFeatures(True, True, False)),
+    ("+intra-node", RuntimeFeatures(True, True, True)),
+)
+
+
+def figure9(datasets: Sequence[str] = ("Sphere", "CAB2"),
+            accel_sets: int = 2) -> Dict[str, Dict[str, float]]:
+    """Numeric latency as runtime optimizations are enabled cumulatively."""
+    soc = supernova_soc(accel_sets)
+    results: Dict[str, Dict[str, float]] = {}
+    for name in datasets:
+        run = isam2_run(name)
+        per_config: Dict[str, float] = {}
+        for label, features in FIG9_CONFIGS:
+            latencies = price_run(run, soc, features)
+            per_config[label] = sum(lat.numeric for lat in latencies)
+        results[name] = per_config
+    return results
+
+
+def figure9_table(results: Dict[str, Dict[str, float]]) -> str:
+    headers = ["Config"] + [f"{d} numeric (norm)" for d in results]
+    rows = []
+    for label, _ in FIG9_CONFIGS:
+        row = [label]
+        for name in results:
+            base = results[name][FIG9_CONFIGS[0][0]]
+            row.append(f"{results[name][label] / base:.3f}")
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,68 @@
+"""Section 7 scalability analysis.
+
+The paper observes that SuperNoVA's scalability "is not infinite": as
+the history grows, relinearizing deep variables no longer fits the
+budget and the algorithm "drops" older updates, trading accuracy for
+real-time behavior.  This harness sweeps the trajectory length on CAB2
+and reports how deferred work grows while the miss rate stays at zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core import RAISAM2
+from repro.datasets import cab2_dataset, run_online
+from repro.experiments.common import TARGET_SECONDS, format_table
+from repro.hardware import supernova_soc
+from repro.metrics import latency_stats
+from repro.runtime import NodeCostModel
+
+
+def scalability_sweep(
+    scales: Sequence[float] = (0.03, 0.05, 0.08, 0.12),
+    sets: int = 2,
+) -> Dict[float, Dict[str, float]]:
+    """RA-ISAM2 behavior as the CAB2 history grows.
+
+    The per-step deadline is held fixed (scaled once for the smallest
+    size) so that longer histories face proportionally tighter budgets —
+    the regime where deferral/dropping kicks in.
+    """
+    soc = supernova_soc(sets)
+    target = TARGET_SECONDS * scales[0]
+    results: Dict[float, Dict[str, float]] = {}
+    for scale in scales:
+        data = cab2_dataset(scale=scale)
+        solver = RAISAM2(NodeCostModel(soc), target_seconds=target)
+        run = run_online(solver, data, soc=soc, collect_errors=True,
+                         error_every=8)
+        stats = latency_stats(run.latency_seconds(), target)
+        deferred = sum(r.deferred_variables for r in run.reports)
+        selected = sum(r.relinearized_variables for r in run.reports)
+        results[scale] = {
+            "steps": float(data.num_steps),
+            "miss_rate": stats.miss_rate,
+            "max_latency_ms": 1e3 * stats.maximum,
+            "deferred": float(deferred),
+            "selected": float(selected),
+            "deferred_fraction": deferred / max(1.0, deferred + selected),
+            "final_rmse": run.step_rmse[-1] if run.step_rmse else 0.0,
+        }
+    return results
+
+
+def scalability_table(results: Dict[float, Dict[str, float]]) -> str:
+    headers = ["scale", "steps", "miss rate", "max lat (ms)",
+               "deferred frac", "final RMSE (m)"]
+    rows = []
+    for scale, entry in sorted(results.items()):
+        rows.append([
+            f"{scale:.2f}",
+            f"{entry['steps']:.0f}",
+            f"{100 * entry['miss_rate']:.1f}%",
+            f"{entry['max_latency_ms']:.3f}",
+            f"{100 * entry['deferred_fraction']:.1f}%",
+            f"{entry['final_rmse']:.4f}",
+        ])
+    return format_table(headers, rows)

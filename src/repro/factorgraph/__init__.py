@@ -1,0 +1,47 @@
+"""Factor-graph substrate for the SLAM backend.
+
+A factor graph holds variables (poses on a manifold) and factors
+(measurement constraints).  The backend solves the nonlinear least-squares
+problem of paper Eq. (1) over this graph.
+"""
+
+from repro.factorgraph.keys import Key, key_name
+from repro.factorgraph.noise import (
+    DiagonalNoise,
+    GaussianNoise,
+    IsotropicNoise,
+)
+from repro.factorgraph.values import Values
+from repro.factorgraph.factors import (
+    BetweenFactorSE2,
+    BetweenFactorSE3,
+    Factor,
+    PriorFactorSE2,
+    PriorFactorSE3,
+)
+from repro.factorgraph.landmark_factors import (
+    BearingRangeFactor2D,
+    PriorFactorPoint2,
+)
+from repro.factorgraph.robust import CauchyNoise, HuberNoise, robustify
+from repro.factorgraph.graph import FactorGraph
+
+__all__ = [
+    "Key",
+    "key_name",
+    "DiagonalNoise",
+    "GaussianNoise",
+    "IsotropicNoise",
+    "Values",
+    "Factor",
+    "PriorFactorSE2",
+    "PriorFactorSE3",
+    "BetweenFactorSE2",
+    "BetweenFactorSE3",
+    "BearingRangeFactor2D",
+    "PriorFactorPoint2",
+    "HuberNoise",
+    "CauchyNoise",
+    "robustify",
+    "FactorGraph",
+]

@@ -1,0 +1,88 @@
+"""Factor-graph container with a variable-to-factor index."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Set
+
+from repro.factorgraph.factors import Factor
+from repro.factorgraph.keys import Key
+
+
+class FactorGraph:
+    """A collection of factors plus the index structures the solvers need.
+
+    Factors are identified by their insertion index, which is stable for the
+    lifetime of the graph (factors can be removed, leaving ``None`` holes, to
+    support marginalization in the fixed-lag solver).
+    """
+
+    def __init__(self):
+        self._factors: List[Factor] = []
+        self._key_to_factors: Dict[Key, Set[int]] = {}
+
+    def add(self, factor: Factor) -> int:
+        """Add a factor; returns its stable index."""
+        index = len(self._factors)
+        self._factors.append(factor)
+        for key in factor.keys:
+            self._key_to_factors.setdefault(key, set()).add(index)
+        return index
+
+    def remove(self, index: int) -> Factor:
+        """Remove a factor by index (leaves an internal hole)."""
+        factor = self._factors[index]
+        if factor is None:
+            raise KeyError(f"factor {index} already removed")
+        self._factors[index] = None
+        for key in factor.keys:
+            bucket = self._key_to_factors.get(key)
+            bucket.discard(index)
+            if not bucket:
+                del self._key_to_factors[key]
+        return factor
+
+    def factor(self, index: int) -> Factor:
+        factor = self._factors[index]
+        if factor is None:
+            raise KeyError(f"factor {index} was removed")
+        return factor
+
+    def factors(self) -> Iterator[Factor]:
+        """Iterate live factors."""
+        return (f for f in self._factors if f is not None)
+
+    def factor_indices(self) -> Iterator[int]:
+        return (i for i, f in enumerate(self._factors) if f is not None)
+
+    def factors_of(self, key: Key) -> Set[int]:
+        """Indices of live factors touching ``key``."""
+        return set(self._key_to_factors.get(key, ()))
+
+    def neighbors(self, key: Key) -> Set[Key]:
+        """Variables sharing at least one factor with ``key`` (excl. key)."""
+        out: Set[Key] = set()
+        for index in self._key_to_factors.get(key, ()):
+            out.update(self._factors[index].keys)
+        out.discard(key)
+        return out
+
+    def keys(self) -> Set[Key]:
+        return set(self._key_to_factors.keys())
+
+    def __len__(self) -> int:
+        """Number of live factors."""
+        return sum(1 for f in self._factors if f is not None)
+
+    def error(self, values) -> float:
+        """Total objective: sum of squared whitened residuals."""
+        return sum(f.error(values) for f in self.factors())
+
+    def keys_of(self, indices: Sequence[int]) -> Set[Key]:
+        out: Set[Key] = set()
+        for index in indices:
+            out.update(self._factors[index].keys)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"FactorGraph({len(self)} factors, "
+                f"{len(self._key_to_factors)} variables)")

@@ -1,0 +1,14 @@
+"""Variable keys.
+
+Keys are plain integers for speed; pose ``i`` in a trajectory is keyed by
+``i``.  ``key_name`` renders a human-readable label for diagnostics.
+"""
+
+from __future__ import annotations
+
+Key = int
+
+
+def key_name(key: Key) -> str:
+    """Human-readable label for a key (``x0``, ``x1``, ...)."""
+    return f"x{int(key)}"

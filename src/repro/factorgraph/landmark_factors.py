@@ -1,0 +1,82 @@
+"""Landmark measurement factors (bearing-range SLAM).
+
+These extend the backend beyond pose graphs: a robot pose observes a
+point landmark with a bearing (angle in the robot frame) and a range.
+The factor's clique {pose, landmark} flows through the same supernodal
+machinery as pose-pose factors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.factorgraph.factors import Factor
+from repro.factorgraph.keys import Key
+from repro.factorgraph.noise import GaussianNoise
+from repro.geometry.point import Point2
+from repro.geometry.so2 import wrap_angle
+
+# 2x2 rotation generator (d/dtheta of R(theta), left-multiplied).
+_GEN = np.array([[0.0, -1.0], [1.0, 0.0]])
+
+
+class PriorFactorPoint2(Factor):
+    """Unary prior on a 2D landmark."""
+
+    def __init__(self, key: Key, prior: Point2, noise: GaussianNoise):
+        super().__init__((key,), noise)
+        self.prior = prior
+
+    def error_vector(self, values) -> np.ndarray:
+        return values.at(self.keys[0]).v - self.prior.v
+
+    def jacobians(self, values) -> List[np.ndarray]:
+        return [np.eye(2)]
+
+
+class BearingRangeFactor2D(Factor):
+    """A bearing-range observation of a Point2 landmark from an SE2 pose.
+
+    Residual: ``[wrap(predicted_bearing - bearing),
+    predicted_range - range]``.
+    """
+
+    def __init__(self, pose_key: Key, point_key: Key,
+                 bearing: float, range_: float, noise: GaussianNoise):
+        super().__init__((pose_key, point_key), noise)
+        self.bearing = wrap_angle(float(bearing))
+        self.range = float(range_)
+        if self.range <= 0.0:
+            raise ValueError("range must be positive")
+
+    def _relative(self, values) -> np.ndarray:
+        pose = values.at(self.keys[0])
+        point = values.at(self.keys[1])
+        return pose.rot.inverse().matrix() @ (point.v - pose.t)
+
+    def error_vector(self, values) -> np.ndarray:
+        d = self._relative(values)
+        predicted_bearing = math.atan2(d[1], d[0])
+        predicted_range = float(np.linalg.norm(d))
+        return np.array([
+            wrap_angle(predicted_bearing - self.bearing),
+            predicted_range - self.range,
+        ])
+
+    def jacobians(self, values) -> List[np.ndarray]:
+        pose = values.at(self.keys[0])
+        d = self._relative(values)
+        rho2 = float(d @ d)
+        rho = math.sqrt(rho2)
+        if rho < 1e-9:
+            raise ValueError("landmark coincides with the pose")
+        # Rows: d(bearing)/dd and d(range)/dd.
+        front = np.array([[-d[1] / rho2, d[0] / rho2],
+                          [d[0] / rho, d[1] / rho]])
+        # d(d)/d[dt, dtheta] for the SE2 retraction, d(d)/d(dl).
+        dd_pose = np.hstack([-np.eye(2), (-(_GEN @ d)).reshape(2, 1)])
+        dd_point = pose.rot.inverse().matrix()
+        return [front @ dd_pose, front @ dd_point]

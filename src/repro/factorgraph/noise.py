@@ -1,0 +1,58 @@
+"""Gaussian measurement noise models.
+
+A noise model turns raw residuals and Jacobians into *whitened* ones so that
+the least-squares objective is the plain 2-norm of paper Eq. (1):
+``‖phi_i(X)‖² = r^T Σ^-1 r = ‖sqrt_info @ r‖²``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GaussianNoise:
+    """Full Gaussian noise defined by a covariance matrix."""
+
+    def __init__(self, covariance: np.ndarray):
+        covariance = np.asarray(covariance, dtype=float)
+        if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
+            raise ValueError("covariance must be a square matrix")
+        self.covariance = covariance
+        info = np.linalg.inv(covariance)
+        # Cholesky of the information matrix gives the whitening transform.
+        self.sqrt_info = np.linalg.cholesky(info).T
+
+    @property
+    def dim(self) -> int:
+        return self.covariance.shape[0]
+
+    def whiten(self, residual: np.ndarray) -> np.ndarray:
+        return self.sqrt_info @ residual
+
+    def whiten_jacobian(self, jacobian: np.ndarray) -> np.ndarray:
+        return self.sqrt_info @ jacobian
+
+    def mahalanobis(self, residual: np.ndarray) -> float:
+        white = self.whiten(residual)
+        return float(white @ white)
+
+
+class DiagonalNoise(GaussianNoise):
+    """Independent per-component noise given by standard deviations."""
+
+    def __init__(self, sigmas: np.ndarray):
+        sigmas = np.asarray(sigmas, dtype=float)
+        if np.any(sigmas <= 0.0):
+            raise ValueError("sigmas must be strictly positive")
+        super().__init__(np.diag(sigmas ** 2))
+        self.sigmas = sigmas
+        # Exact diagonal whitening avoids inverse/Cholesky round-off.
+        self.sqrt_info = np.diag(1.0 / sigmas)
+
+
+class IsotropicNoise(DiagonalNoise):
+    """Same standard deviation on every component."""
+
+    def __init__(self, dim: int, sigma: float):
+        super().__init__(np.full(int(dim), float(sigma)))
+        self.sigma = float(sigma)

@@ -1,0 +1,83 @@
+"""Robust (M-estimator) noise models.
+
+Wraps a Gaussian noise model with a robust loss.  ``Factor.linearize``
+checks for a ``weight`` method on the noise model and rescales the
+whitened residual and Jacobian by its square root, so one Gauss-Newton
+step implements iteratively-reweighted least squares.  Standard
+protection against outlier loop closures.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.factorgraph.noise import GaussianNoise
+
+
+class HuberNoise(GaussianNoise):
+    """Huber loss on top of a base Gaussian noise model.
+
+    Residuals with whitened norm below ``k`` behave quadratically;
+    beyond ``k`` their influence grows only linearly.
+    """
+
+    def __init__(self, base: GaussianNoise, k: float = 1.345):
+        if k <= 0.0:
+            raise ValueError("Huber threshold must be positive")
+        # Delegate whitening to the base model (weights are applied by
+        # Factor.linearize via weight()).
+        self.base = base
+        self.k = float(k)
+        self.covariance = base.covariance
+        self.sqrt_info = base.sqrt_info
+
+    @property
+    def dim(self) -> int:
+        return self.base.dim
+
+    def whiten(self, residual: np.ndarray) -> np.ndarray:
+        return self.base.whiten(residual)
+
+    def whiten_jacobian(self, jacobian: np.ndarray) -> np.ndarray:
+        return self.base.whiten_jacobian(jacobian)
+
+    def weight(self, residual: np.ndarray) -> float:
+        """IRLS weight for this (unwhitened) residual."""
+        norm = float(np.linalg.norm(self.base.whiten(residual)))
+        if norm <= self.k:
+            return 1.0
+        return self.k / norm
+
+    def loss(self, residual: np.ndarray) -> float:
+        """Huber objective (scaled so the quadratic region matches the
+        plain squared whitened norm)."""
+        norm = float(np.linalg.norm(self.base.whiten(residual)))
+        if norm <= self.k:
+            return norm * norm
+        return 2.0 * self.k * (norm - 0.5 * self.k)
+
+
+class CauchyNoise(HuberNoise):
+    """Cauchy (Lorentzian) loss: even harder outlier suppression."""
+
+    def weight(self, residual: np.ndarray) -> float:
+        norm2 = float(np.square(
+            self.base.whiten(residual)).sum())
+        return 1.0 / (1.0 + norm2 / (self.k * self.k))
+
+    def loss(self, residual: np.ndarray) -> float:
+        norm2 = float(np.square(self.base.whiten(residual)).sum())
+        return self.k * self.k * math.log1p(norm2 / (self.k * self.k))
+
+
+def robustify(factor, k: float = 1.345, kind: str = "huber"):
+    """Replace a factor's noise with a robust version, in place."""
+    if kind == "huber":
+        factor.noise = HuberNoise(factor.noise, k)
+    elif kind == "cauchy":
+        factor.noise = CauchyNoise(factor.noise, k)
+    else:
+        raise ValueError(f"unknown robust kind {kind!r}")
+    return factor

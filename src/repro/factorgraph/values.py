@@ -1,0 +1,76 @@
+"""Container mapping keys to manifold elements (the state estimate X)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from repro.factorgraph.keys import Key
+
+
+class Values:
+    """An ordered map from variable key to its manifold element.
+
+    Supports the retraction ``X ⊕ Δ`` over all variables at once, given a
+    per-key tangent update.
+    """
+
+    def __init__(self):
+        self._data: Dict[Key, object] = {}
+
+    def insert(self, key: Key, value) -> None:
+        if key in self._data:
+            raise KeyError(f"key {key} already present")
+        self._data[key] = value
+
+    def update(self, key: Key, value) -> None:
+        if key not in self._data:
+            raise KeyError(f"key {key} not present")
+        self._data[key] = value
+
+    def at(self, key: Key):
+        return self._data[key]
+
+    def __getitem__(self, key: Key):
+        return self._data[key]
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._data.keys())
+
+    def items(self):
+        return self._data.items()
+
+    def dim(self) -> int:
+        """Total tangent dimension over all variables."""
+        return sum(v.dim for v in self._data.values())
+
+    def copy(self) -> "Values":
+        out = Values()
+        out._data = dict(self._data)
+        return out
+
+    def retract(self, delta: Dict[Key, np.ndarray]) -> "Values":
+        """Return a new Values with each listed variable retracted."""
+        out = self.copy()
+        for key, step in delta.items():
+            out._data[key] = out._data[key].retract(step)
+        return out
+
+    def retract_in_place(self, delta: Dict[Key, np.ndarray]) -> None:
+        for key, step in delta.items():
+            self._data[key] = self._data[key].retract(step)
+
+    def local(self, other: "Values") -> Dict[Key, np.ndarray]:
+        """Per-key tangent vectors from self to other (shared keys only)."""
+        return {key: value.local(other._data[key])
+                for key, value in self._data.items() if key in other._data}
+
+    def __repr__(self) -> str:
+        return f"Values({len(self._data)} variables)"

@@ -1,0 +1,14 @@
+"""Lie-group geometry for SLAM state manifolds.
+
+The SLAM backend optimizes over products of :class:`SE2` / :class:`SE3`
+elements.  Gauss-Newton steps live in the tangent space; the retraction
+``X ⊕ Δ`` maps a tangent update back onto the manifold (paper Section 3.1).
+"""
+
+from repro.geometry.so2 import SO2
+from repro.geometry.se2 import SE2
+from repro.geometry.so3 import SO3
+from repro.geometry.se3 import SE3
+from repro.geometry.point import Point2, Point3
+
+__all__ = ["SO2", "SE2", "SO3", "SE3", "Point2", "Point3"]

@@ -1,0 +1,103 @@
+"""Lie-group Jacobians used to linearize factors analytically.
+
+Conventions follow Barfoot, *State Estimation for Robotics*: SE(3) tangent
+vectors are ordered ``[rho, omega]`` and the right Jacobian satisfies
+``exp(xi + dxi) ~= exp(xi) * exp(Jr(xi) @ dxi)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.so3 import skew
+
+
+def so3_left_jacobian(omega: np.ndarray) -> np.ndarray:
+    angle = float(np.linalg.norm(omega))
+    hat = skew(omega)
+    if angle < 1e-8:
+        return np.eye(3) + 0.5 * hat + hat @ hat / 6.0
+    a2 = angle * angle
+    return (np.eye(3)
+            + (1.0 - math.cos(angle)) / a2 * hat
+            + (angle - math.sin(angle)) / (a2 * angle) * hat @ hat)
+
+
+def so3_left_jacobian_inverse(omega: np.ndarray) -> np.ndarray:
+    angle = float(np.linalg.norm(omega))
+    hat = skew(omega)
+    if angle < 1e-8:
+        return np.eye(3) - 0.5 * hat + hat @ hat / 12.0
+    half = angle / 2.0
+    cot_term = (1.0 - half * math.cos(half) / math.sin(half)) / (angle * angle)
+    return np.eye(3) - 0.5 * hat + cot_term * hat @ hat
+
+
+def so3_right_jacobian(omega: np.ndarray) -> np.ndarray:
+    return so3_left_jacobian(-np.asarray(omega, dtype=float))
+
+
+def so3_right_jacobian_inverse(omega: np.ndarray) -> np.ndarray:
+    return so3_left_jacobian_inverse(-np.asarray(omega, dtype=float))
+
+
+def _se3_q_matrix(rho: np.ndarray, omega: np.ndarray) -> np.ndarray:
+    """Barfoot's Q(xi) block coupling translation and rotation in Jl."""
+    rho_hat = skew(rho)
+    om_hat = skew(omega)
+    angle = float(np.linalg.norm(omega))
+    if angle < 1e-6:
+        # Leading Taylor terms; enough for the tolerance of our tests.
+        c1 = 1.0 / 6.0 - angle ** 2 / 120.0
+        c2 = 1.0 / 24.0 - angle ** 2 / 720.0
+        c3 = 1.0 / 120.0 - angle ** 2 / 2520.0
+    else:
+        a2 = angle * angle
+        a3 = a2 * angle
+        a4 = a3 * angle
+        a5 = a4 * angle
+        sin_a, cos_a = math.sin(angle), math.cos(angle)
+        c1 = (angle - sin_a) / a3
+        c2 = (1.0 - a2 / 2.0 - cos_a) / a4
+        c3 = 0.5 * (c2 - 3.0 * (angle - sin_a - a3 / 6.0) / a5)
+    term1 = 0.5 * rho_hat
+    term2 = c1 * (om_hat @ rho_hat + rho_hat @ om_hat
+                  + om_hat @ rho_hat @ om_hat)
+    term3 = -c2 * (om_hat @ om_hat @ rho_hat + rho_hat @ om_hat @ om_hat
+                   - 3.0 * om_hat @ rho_hat @ om_hat)
+    term4 = -c3 * (om_hat @ rho_hat @ om_hat @ om_hat
+                   + om_hat @ om_hat @ rho_hat @ om_hat)
+    return term1 + term2 + term3 + term4
+
+
+def se3_left_jacobian(xi: np.ndarray) -> np.ndarray:
+    xi = np.asarray(xi, dtype=float)
+    rho, omega = xi[:3], xi[3:]
+    jac_so3 = so3_left_jacobian(omega)
+    out = np.zeros((6, 6))
+    out[:3, :3] = jac_so3
+    out[3:, 3:] = jac_so3
+    out[:3, 3:] = _se3_q_matrix(rho, omega)
+    return out
+
+
+def se3_left_jacobian_inverse(xi: np.ndarray) -> np.ndarray:
+    xi = np.asarray(xi, dtype=float)
+    rho, omega = xi[:3], xi[3:]
+    jac_inv = so3_left_jacobian_inverse(omega)
+    q_mat = _se3_q_matrix(rho, omega)
+    out = np.zeros((6, 6))
+    out[:3, :3] = jac_inv
+    out[3:, 3:] = jac_inv
+    out[:3, 3:] = -jac_inv @ q_mat @ jac_inv
+    return out
+
+
+def se3_right_jacobian(xi: np.ndarray) -> np.ndarray:
+    return se3_left_jacobian(-np.asarray(xi, dtype=float))
+
+
+def se3_right_jacobian_inverse(xi: np.ndarray) -> np.ndarray:
+    return se3_left_jacobian_inverse(-np.asarray(xi, dtype=float))

@@ -1,0 +1,64 @@
+"""Euclidean point "manifolds" for landmark variables.
+
+Landmarks are plain vectors: retraction is addition.  They satisfy the
+same interface as the Lie-group poses, so the factor-graph and solver
+machinery handles mixed pose/landmark problems unchanged (paper
+Section 3.1: components X_j are "a pose or a landmark").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _Point:
+    __slots__ = ("v",)
+
+    dim = 0  # overridden
+
+    def __init__(self, *coords):
+        if len(coords) == 1 and np.ndim(coords[0]) == 1:
+            v = np.asarray(coords[0], dtype=float).copy()
+        else:
+            v = np.array([float(c) for c in coords])
+        if v.shape != (self.dim,):
+            raise ValueError(f"expected {self.dim} coordinates")
+        self.v = v
+
+    @property
+    def t(self) -> np.ndarray:
+        """Position (metrics treat landmarks like poses)."""
+        return self.v
+
+    def retract(self, delta: np.ndarray):
+        return type(self)(self.v + np.asarray(delta, dtype=float))
+
+    def local(self, other) -> np.ndarray:
+        return other.v - self.v
+
+    def is_close(self, other, tol: float = 1e-9) -> bool:
+        return bool(np.allclose(self.v, other.v, atol=tol))
+
+    def __repr__(self) -> str:
+        coords = ", ".join(f"{c:.4f}" for c in self.v)
+        return f"{type(self).__name__}({coords})"
+
+
+class Point2(_Point):
+    """A 2D landmark."""
+
+    dim = 2
+
+    @property
+    def x(self) -> float:
+        return float(self.v[0])
+
+    @property
+    def y(self) -> float:
+        return float(self.v[1])
+
+
+class Point3(_Point):
+    """A 3D landmark."""
+
+    dim = 3

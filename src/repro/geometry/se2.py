@@ -1,0 +1,127 @@
+"""SE(2): planar rigid transforms (x, y, theta).
+
+The tangent space is 3-dimensional: ``[dx, dy, dtheta]``.  We use the
+"first-order" retraction common in 2D pose-graph SLAM (translation update
+rotated into the world frame, angle added), matching the paper's ``⊕``
+retraction over the optimization manifold.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.so2 import SO2, wrap_angle
+
+
+class SE2:
+    """A planar rigid transform with translation ``t`` and rotation ``rot``."""
+
+    __slots__ = ("t", "rot")
+
+    dim = 3
+
+    def __init__(self, x: float = 0.0, y: float = 0.0, theta: float = 0.0):
+        self.t = np.array([float(x), float(y)])
+        self.rot = SO2(theta)
+
+    @property
+    def x(self) -> float:
+        return float(self.t[0])
+
+    @property
+    def y(self) -> float:
+        return float(self.t[1])
+
+    @property
+    def theta(self) -> float:
+        return self.rot.theta
+
+    @staticmethod
+    def identity() -> "SE2":
+        return SE2()
+
+    @staticmethod
+    def from_parts(t: np.ndarray, rot: SO2) -> "SE2":
+        pose = SE2()
+        pose.t = np.asarray(t, dtype=float).copy()
+        pose.rot = SO2(rot.theta)
+        return pose
+
+    @staticmethod
+    def exp(xi: np.ndarray) -> "SE2":
+        """Exponential map from a tangent vector ``[vx, vy, omega]``."""
+        vx, vy, omega = (float(v) for v in xi)
+        if abs(omega) < 1e-10:
+            return SE2(vx, vy, omega)
+        s, c = math.sin(omega), math.cos(omega)
+        v_mat = np.array([[s / omega, -(1.0 - c) / omega],
+                          [(1.0 - c) / omega, s / omega]])
+        t = v_mat @ np.array([vx, vy])
+        return SE2(t[0], t[1], omega)
+
+    def log(self) -> np.ndarray:
+        """Logarithm map to the tangent vector ``[vx, vy, omega]``."""
+        omega = self.rot.theta
+        if abs(omega) < 1e-10:
+            return np.array([self.t[0], self.t[1], omega])
+        s, c = math.sin(omega), math.cos(omega)
+        det = (s / omega) ** 2 + ((1.0 - c) / omega) ** 2
+        v_inv = np.array([[s / omega, (1.0 - c) / omega],
+                          [-(1.0 - c) / omega, s / omega]]) / det
+        v = v_inv @ self.t
+        return np.array([v[0], v[1], omega])
+
+    def matrix(self) -> np.ndarray:
+        mat = np.eye(3)
+        mat[:2, :2] = self.rot.matrix()
+        mat[:2, 2] = self.t
+        return mat
+
+    def inverse(self) -> "SE2":
+        inv_rot = self.rot.inverse()
+        return SE2.from_parts(-(inv_rot.matrix() @ self.t), inv_rot)
+
+    def compose(self, other: "SE2") -> "SE2":
+        return SE2.from_parts(self.t + self.rot.matrix() @ other.t,
+                              self.rot.compose(other.rot))
+
+    def __mul__(self, other):
+        if isinstance(other, SE2):
+            return self.compose(other)
+        point = np.asarray(other, dtype=float)
+        return self.rot.matrix() @ point + self.t
+
+    def between(self, other: "SE2") -> "SE2":
+        """Relative transform ``self^-1 * other``."""
+        return self.inverse().compose(other)
+
+    def retract(self, delta: np.ndarray) -> "SE2":
+        """First-order retraction: world-frame-rotated translation + angle.
+
+        ``self ⊕ [dx, dy, dtheta] = (t + R @ [dx, dy], theta + dtheta)``.
+        """
+        delta = np.asarray(delta, dtype=float)
+        t_new = self.t + self.rot.matrix() @ delta[:2]
+        return SE2(t_new[0], t_new[1], self.rot.theta + delta[2])
+
+    def local(self, other: "SE2") -> np.ndarray:
+        """Tangent vector such that ``self.retract(v) ~= other``."""
+        dt = self.rot.inverse().matrix() @ (other.t - self.t)
+        return np.array([dt[0], dt[1], wrap_angle(other.theta - self.theta)])
+
+    def adjoint(self) -> np.ndarray:
+        """Adjoint matrix mapping tangent vectors across frames."""
+        adj = np.eye(3)
+        adj[:2, :2] = self.rot.matrix()
+        adj[0, 2] = self.t[1]
+        adj[1, 2] = -self.t[0]
+        return adj
+
+    def is_close(self, other: "SE2", tol: float = 1e-9) -> bool:
+        return (np.allclose(self.t, other.t, atol=tol)
+                and self.rot.is_close(other.rot, tol))
+
+    def __repr__(self) -> str:
+        return f"SE2(x={self.x:.4f}, y={self.y:.4f}, theta={self.theta:.4f})"

@@ -1,0 +1,113 @@
+"""SE(3): 3D rigid transforms.
+
+Tangent space is 6-dimensional, ordered ``[rho(3), omega(3)]`` =
+``[translation, rotation]``.  The retraction composes on the right with the
+group exponential, as in GTSAM.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.so3 import SO3, skew
+
+
+def _left_jacobian_so3(omega: np.ndarray) -> np.ndarray:
+    """Left Jacobian of SO(3); used by the SE(3) exp/log maps."""
+    angle = float(np.linalg.norm(omega))
+    hat = skew(omega)
+    if angle < 1e-8:
+        return np.eye(3) + 0.5 * hat + hat @ hat / 6.0
+    a2 = angle * angle
+    return (np.eye(3)
+            + (1.0 - math.cos(angle)) / a2 * hat
+            + (angle - math.sin(angle)) / (a2 * angle) * hat @ hat)
+
+
+def _left_jacobian_inv_so3(omega: np.ndarray) -> np.ndarray:
+    angle = float(np.linalg.norm(omega))
+    hat = skew(omega)
+    if angle < 1e-8:
+        return np.eye(3) - 0.5 * hat + hat @ hat / 12.0
+    half = angle / 2.0
+    cot_term = (1.0 - half * math.cos(half) / math.sin(half)) / (angle * angle)
+    return np.eye(3) - 0.5 * hat + cot_term * hat @ hat
+
+
+class SE3:
+    """A 3D rigid transform with translation ``t`` and rotation ``rot``."""
+
+    __slots__ = ("t", "rot")
+
+    dim = 6
+
+    def __init__(self, rot: SO3 = None, t: np.ndarray = None):
+        self.rot = rot if rot is not None else SO3.identity()
+        self.t = (np.asarray(t, dtype=float).copy()
+                  if t is not None else np.zeros(3))
+
+    @staticmethod
+    def identity() -> "SE3":
+        return SE3()
+
+    @staticmethod
+    def exp(xi: np.ndarray) -> "SE3":
+        """Exponential map from ``[rho, omega]``."""
+        xi = np.asarray(xi, dtype=float)
+        rho, omega = xi[:3], xi[3:]
+        rot = SO3.exp(omega)
+        t = _left_jacobian_so3(omega) @ rho
+        return SE3(rot, t)
+
+    def log(self) -> np.ndarray:
+        """Logarithm map to ``[rho, omega]``."""
+        omega = self.rot.log()
+        rho = _left_jacobian_inv_so3(omega) @ self.t
+        return np.concatenate([rho, omega])
+
+    def matrix(self) -> np.ndarray:
+        mat = np.eye(4)
+        mat[:3, :3] = self.rot.matrix()
+        mat[:3, 3] = self.t
+        return mat
+
+    def inverse(self) -> "SE3":
+        inv_rot = self.rot.inverse()
+        return SE3(inv_rot, -(inv_rot.matrix() @ self.t))
+
+    def compose(self, other: "SE3") -> "SE3":
+        return SE3(self.rot.compose(other.rot),
+                   self.t + self.rot.matrix() @ other.t)
+
+    def __mul__(self, other):
+        if isinstance(other, SE3):
+            return self.compose(other)
+        return self.rot.matrix() @ np.asarray(other, dtype=float) + self.t
+
+    def between(self, other: "SE3") -> "SE3":
+        return self.inverse().compose(other)
+
+    def retract(self, delta: np.ndarray) -> "SE3":
+        """Right retraction ``self * exp(delta)``."""
+        return self.compose(SE3.exp(delta))
+
+    def local(self, other: "SE3") -> np.ndarray:
+        return self.between(other).log()
+
+    def adjoint(self) -> np.ndarray:
+        """6x6 adjoint; block layout matches the [rho, omega] ordering."""
+        rot = self.rot.matrix()
+        adj = np.zeros((6, 6))
+        adj[:3, :3] = rot
+        adj[3:, 3:] = rot
+        adj[:3, 3:] = skew(self.t) @ rot
+        return adj
+
+    def is_close(self, other: "SE3", tol: float = 1e-9) -> bool:
+        return (np.allclose(self.t, other.t, atol=tol)
+                and self.rot.is_close(other.rot, tol))
+
+    def __repr__(self) -> str:
+        return f"SE3(t={np.array2string(self.t, precision=4)}, rot={self.rot})"

@@ -1,0 +1,76 @@
+"""SO(2): planar rotations.
+
+Elements are stored as a wrapped angle; the tangent space is 1-dimensional.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def wrap_angle(theta: float) -> float:
+    """Wrap an angle to the interval ``(-pi, pi]``."""
+    wrapped = math.fmod(theta + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+class SO2:
+    """A planar rotation, parameterized by its angle in radians."""
+
+    __slots__ = ("theta",)
+
+    dim = 1
+
+    def __init__(self, theta: float = 0.0):
+        self.theta = wrap_angle(float(theta))
+
+    @staticmethod
+    def identity() -> "SO2":
+        return SO2(0.0)
+
+    @staticmethod
+    def exp(omega: float) -> "SO2":
+        """Exponential map: tangent scalar -> rotation."""
+        return SO2(float(omega))
+
+    def log(self) -> float:
+        """Logarithm map: rotation -> tangent scalar."""
+        return self.theta
+
+    def matrix(self) -> np.ndarray:
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        return np.array([[c, -s], [s, c]])
+
+    def inverse(self) -> "SO2":
+        return SO2(-self.theta)
+
+    def compose(self, other: "SO2") -> "SO2":
+        return SO2(self.theta + other.theta)
+
+    def __mul__(self, other):
+        if isinstance(other, SO2):
+            return self.compose(other)
+        point = np.asarray(other, dtype=float)
+        return self.matrix() @ point
+
+    def between(self, other: "SO2") -> "SO2":
+        """Relative rotation ``self^-1 * other``."""
+        return SO2(other.theta - self.theta)
+
+    def retract(self, omega: float) -> "SO2":
+        """Right retraction ``self * exp(omega)``."""
+        return SO2(self.theta + float(omega))
+
+    def local(self, other: "SO2") -> float:
+        """Tangent vector such that ``self.retract(v) == other``."""
+        return wrap_angle(other.theta - self.theta)
+
+    def is_close(self, other: "SO2", tol: float = 1e-9) -> bool:
+        return abs(wrap_angle(self.theta - other.theta)) <= tol
+
+    def __repr__(self) -> str:
+        return f"SO2(theta={self.theta:.6f})"

@@ -1,0 +1,122 @@
+"""SO(3): 3D rotations stored as rotation matrices.
+
+Tangent space is 3-dimensional (axis-angle / rotation vector).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def skew(v: np.ndarray) -> np.ndarray:
+    """The 3x3 skew-symmetric (hat) matrix of a 3-vector."""
+    x, y, z = (float(c) for c in v)
+    return np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+
+
+def unskew(mat: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`skew` (vee operator)."""
+    return np.array([mat[2, 1], mat[0, 2], mat[1, 0]])
+
+
+class SO3:
+    """A 3D rotation wrapping an orthonormal 3x3 matrix."""
+
+    __slots__ = ("mat",)
+
+    dim = 3
+
+    def __init__(self, mat: np.ndarray = None):
+        if mat is None:
+            mat = np.eye(3)
+        self.mat = np.asarray(mat, dtype=float)
+
+    @staticmethod
+    def identity() -> "SO3":
+        return SO3(np.eye(3))
+
+    @staticmethod
+    def exp(omega: np.ndarray) -> "SO3":
+        """Rodrigues' formula: rotation vector -> rotation matrix."""
+        omega = np.asarray(omega, dtype=float)
+        angle = float(np.linalg.norm(omega))
+        if angle < 1e-10:
+            # Second-order Taylor expansion keeps exp/log consistent near 0.
+            hat = skew(omega)
+            return SO3(np.eye(3) + hat + 0.5 * hat @ hat)
+        axis_hat = skew(omega / angle)
+        return SO3(np.eye(3) + math.sin(angle) * axis_hat
+                   + (1.0 - math.cos(angle)) * axis_hat @ axis_hat)
+
+    def log(self) -> np.ndarray:
+        """Rotation matrix -> rotation vector."""
+        trace = float(np.trace(self.mat))
+        cos_angle = max(-1.0, min(1.0, (trace - 1.0) / 2.0))
+        angle = math.acos(cos_angle)
+        if angle < 1e-10:
+            return unskew(self.mat - self.mat.T) / 2.0
+        if angle > math.pi - 1e-6:
+            # Near pi the antisymmetric part vanishes; recover the axis from
+            # the symmetric part R + I = 2 * (axis axis^T) at angle == pi.
+            sym = (self.mat + np.eye(3)) / 2.0
+            axis = np.sqrt(np.maximum(np.diag(sym), 0.0))
+            # Fix signs using the largest component as reference.
+            k = int(np.argmax(axis))
+            if axis[k] > 0.0:
+                for i in range(3):
+                    if i != k and sym[k, i] < 0.0:
+                        axis[i] = -axis[i]
+            norm = np.linalg.norm(axis)
+            if norm > 0.0:
+                axis = axis / norm
+            return angle * axis
+        return angle / (2.0 * math.sin(angle)) * unskew(self.mat - self.mat.T)
+
+    @staticmethod
+    def from_rpy(roll: float, pitch: float, yaw: float) -> "SO3":
+        """Rotation from roll-pitch-yaw (ZYX convention)."""
+        return (SO3.exp([0.0, 0.0, yaw])
+                .compose(SO3.exp([0.0, pitch, 0.0]))
+                .compose(SO3.exp([roll, 0.0, 0.0])))
+
+    def matrix(self) -> np.ndarray:
+        return self.mat
+
+    def inverse(self) -> "SO3":
+        return SO3(self.mat.T)
+
+    def compose(self, other: "SO3") -> "SO3":
+        return SO3(self.mat @ other.mat)
+
+    def __mul__(self, other):
+        if isinstance(other, SO3):
+            return self.compose(other)
+        return self.mat @ np.asarray(other, dtype=float)
+
+    def between(self, other: "SO3") -> "SO3":
+        return SO3(self.mat.T @ other.mat)
+
+    def retract(self, omega: np.ndarray) -> "SO3":
+        """Right retraction ``self * exp(omega)``."""
+        return self.compose(SO3.exp(omega))
+
+    def local(self, other: "SO3") -> np.ndarray:
+        return self.between(other).log()
+
+    def renormalize(self) -> "SO3":
+        """Project back onto SO(3) via SVD (guards numeric drift)."""
+        u, _, vt = np.linalg.svd(self.mat)
+        mat = u @ vt
+        if np.linalg.det(mat) < 0.0:
+            u[:, -1] = -u[:, -1]
+            mat = u @ vt
+        return SO3(mat)
+
+    def is_close(self, other: "SO3", tol: float = 1e-9) -> bool:
+        return bool(np.allclose(self.mat, other.mat, atol=tol))
+
+    def __repr__(self) -> str:
+        rpy = self.log()
+        return f"SO3(log=[{rpy[0]:.4f}, {rpy[1]:.4f}, {rpy[2]:.4f}])"

@@ -1,0 +1,53 @@
+"""Cycle-level hardware models (the substitution for FireSim RTL sim).
+
+Every platform maps a traced operation (:class:`repro.linalg.trace.Op`) to
+a cycle count.  The models capture the first-order effects the paper's
+evaluation hinges on:
+
+* COMP: a 4x4 fp32 weight-stationary systolic array with double-buffered
+  scratchpad and a Sparse Index Unroller for block scatter (Section 4.2.1),
+* MEM: a DMA engine with virtual channels for memcpy/memset (4.2.2),
+* CPUs: scalar/SIMD cores with per-call overheads (BOOM, Rocket host,
+  mobile A72, Neon DSP, server Xeon),
+* GPU: an embedded Maxwell-class part with kernel-launch overhead that
+  dominates small problems,
+* Spatula: a GEMM-only accelerator whose scatter and memory management
+  stay on the host CPU (Section 5.4 baseline 6).
+"""
+
+from repro.hardware.platforms import (
+    ComputeAccelerator,
+    CpuModel,
+    GpuModel,
+    MemoryAccelerator,
+    SoCConfig,
+    boom_cpu,
+    embedded_gpu,
+    mobile_cpu,
+    mobile_dsp,
+    rocket_cpu,
+    server_cpu,
+    spatula_soc,
+    supernova_soc,
+)
+from repro.hardware.area import AREA_TABLE, area_summary
+from repro.hardware.power import PowerModel
+
+__all__ = [
+    "ComputeAccelerator",
+    "MemoryAccelerator",
+    "CpuModel",
+    "GpuModel",
+    "SoCConfig",
+    "boom_cpu",
+    "rocket_cpu",
+    "mobile_cpu",
+    "mobile_dsp",
+    "server_cpu",
+    "embedded_gpu",
+    "supernova_soc",
+    "spatula_soc",
+    "AREA_TABLE",
+    "area_summary",
+    "PowerModel",
+]

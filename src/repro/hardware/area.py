@@ -1,0 +1,47 @@
+"""Area model: the paper's Table 5 (16 nm synthesis results).
+
+These are design-time constants from the paper's physical design run
+(Cadence Genus, commercial 16 nm).  The derived claim reproduced by the
+area bench: one Rocket CPU tile + one COMP tile + one MEM tile occupy 40%
+of a BOOM core, so 2 accelerator sets + 2 CPUs ~= 80% of one BOOM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# Component -> area in um^2 (paper Table 5).
+AREA_TABLE: Dict[str, float] = {
+    "rocket_cpu_tile": 151_000.0,
+    "comp_tile": 301_000.0,
+    "comp_rerocc_manager": 20_000.0,
+    "comp_accelerator": 281_000.0,
+    "comp_mesh": 92_000.0,
+    "comp_scratchpad_accumulator": 86_000.0,
+    "comp_sparse_index_unit": 9_000.0,
+    "mem_tile": 51_000.0,
+    "mem_rerocc_manager": 20_000.0,
+    "mem_accelerator": 31_000.0,
+    "boom_baseline": 1_262_000.0,
+}
+
+
+def accelerator_set_area() -> float:
+    """One COMP tile + one MEM tile."""
+    return AREA_TABLE["comp_tile"] + AREA_TABLE["mem_tile"]
+
+
+def supernova_area(accel_sets: int = 1, cpu_tiles: int = 1) -> float:
+    """Total area of a SuperNoVA configuration."""
+    return (cpu_tiles * AREA_TABLE["rocket_cpu_tile"]
+            + accel_sets * accelerator_set_area())
+
+
+def area_summary(accel_sets: int = 1, cpu_tiles: int = 1) -> Dict[str, float]:
+    """Area of the configuration and its fraction of a BOOM core."""
+    total = supernova_area(accel_sets, cpu_tiles)
+    return {
+        "total_um2": total,
+        "boom_um2": AREA_TABLE["boom_baseline"],
+        "fraction_of_boom": total / AREA_TABLE["boom_baseline"],
+    }

@@ -1,0 +1,391 @@
+"""Platform cycle models.
+
+All models implement ``op_cycles(op) -> float`` over the trace vocabulary
+of :class:`repro.linalg.trace.OpKind`.  Parameters are stated per model;
+`EXPERIMENTS.md` records how the resulting latency ratios line up with the
+paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.linalg.trace import Op, OpKind
+
+
+class CpuModel:
+    """A general-purpose core executing every op in software.
+
+    Parameters
+    ----------
+    name / frequency_hz:
+        Identification and clock.
+    flops_per_cycle:
+        Sustained dense floating-point throughput (FMA counted as 2).
+    mem_bytes_per_cycle:
+        Streaming copy/set bandwidth from this core.
+    call_overhead:
+        Cycles of dispatch overhead per (BLAS-like) operation call.
+    scatter_elems_per_cycle:
+        Indexed scatter-add throughput (irregular accesses are slow).
+    relin_cycles_per_factor / symbolic_cycles_per_column:
+        Non-numeric work rates (Section 3.3 runs on the CPU everywhere).
+    small_matrix_penalty:
+        Degrades throughput when an op's inner dimension is tiny
+        (pipeline startup; pronounced on in-order cores).
+    """
+
+    def __init__(self, name: str, frequency_hz: float,
+                 flops_per_cycle: float, mem_bytes_per_cycle: float,
+                 call_overhead: float, scatter_elems_per_cycle: float,
+                 relin_cycles_per_factor: float,
+                 symbolic_cycles_per_column: float,
+                 small_matrix_penalty: float = 8.0):
+        self.name = name
+        self.frequency_hz = float(frequency_hz)
+        self.flops_per_cycle = float(flops_per_cycle)
+        self.mem_bytes_per_cycle = float(mem_bytes_per_cycle)
+        self.call_overhead = float(call_overhead)
+        self.scatter_elems_per_cycle = float(scatter_elems_per_cycle)
+        self.relin_cycles_per_factor = float(relin_cycles_per_factor)
+        self.symbolic_cycles_per_column = float(symbolic_cycles_per_column)
+        self.small_matrix_penalty = float(small_matrix_penalty)
+
+    def _throughput(self, op: Op) -> float:
+        """Effective flops/cycle accounting for small-op startup."""
+        inner = min(op.dims) if op.dims else 1
+        # Ramp: tiny ops run near 1/penalty of peak, large ops at peak.
+        ramp = inner / (inner + self.small_matrix_penalty)
+        return max(self.flops_per_cycle * ramp, 0.25)
+
+    def op_cycles(self, op: Op) -> float:
+        if op.kind in (OpKind.MEMSET, OpKind.MEMCPY):
+            return self.call_overhead + op.bytes_moved / \
+                self.mem_bytes_per_cycle
+        if op.kind is OpKind.SCATTER_ADD:
+            rows, cols = op.dims
+            return self.call_overhead + rows * cols / \
+                self.scatter_elems_per_cycle
+        return self.call_overhead + op.flops / self._throughput(op)
+
+    def relin_cycles(self, num_factors: int) -> float:
+        return self.relin_cycles_per_factor * num_factors
+
+    def symbolic_cycles(self, num_columns: int) -> float:
+        return self.symbolic_cycles_per_column * num_columns
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+
+class GpuModel(CpuModel):
+    """An embedded GPU: huge peak throughput, large per-kernel launch cost.
+
+    The launch overhead is the defining effect: on small frontal matrices
+    (CAB1) the GPU is no better than a mobile CPU (paper Section 6.1).
+    """
+
+    def __init__(self, name: str, frequency_hz: float,
+                 flops_per_cycle: float, mem_bytes_per_cycle: float,
+                 kernel_launch_cycles: float,
+                 occupancy_saturation: float = 2048.0,
+                 **kwargs):
+        kwargs.setdefault("call_overhead", kernel_launch_cycles)
+        kwargs.setdefault("scatter_elems_per_cycle", 8.0)
+        super().__init__(name, frequency_hz, flops_per_cycle,
+                         mem_bytes_per_cycle, **kwargs)
+        self.kernel_launch_cycles = float(kernel_launch_cycles)
+        self.occupancy_saturation = float(occupancy_saturation)
+
+    def _throughput(self, op: Op) -> float:
+        if op.kind in (OpKind.GEMM, OpKind.SYRK):
+            work_items = op.dims[0] * (op.dims[1] if len(op.dims) > 1 else 1)
+        else:
+            work_items = op.dims[0]
+        occupancy = min(1.0, work_items / self.occupancy_saturation)
+        return max(self.flops_per_cycle * occupancy, 1.0)
+
+
+@dataclass
+class ComputeAccelerator:
+    """COMP: systolic GEMM engine + transposer + Sparse Index Unroller.
+
+    ``systolic_dim`` x ``systolic_dim`` fp32 MACs; double-buffered
+    scratchpad hides loads behind compute for all but the smallest tiles.
+    Triangular kernels (POTRF/TRSM) map to panel sequences with lower
+    efficiency; the SIU packs block scatter-adds into single instructions.
+
+    Two cycle models are provided: the default analytic model
+    (``op_cycles``, per-kind efficiency over peak) used throughout the
+    evaluation, and an explicit tiled Gemmini-style model
+    (``op_cycles_detailed``) that walks output tiles and applies a
+    scratchpad-capacity reload penalty — useful when studying tile-size
+    or scratchpad trade-offs.
+    """
+
+    systolic_dim: int = 4
+    rocc_overhead: float = 40.0       # ReRoCC per-instruction dispatch
+    pipeline_depth: float = 16.0      # array fill/drain latency
+    scratchpad_bytes: int = 32 * 1024
+    has_siu: bool = True
+    siu_elems_per_cycle: float = 8.0  # packed scatter throughput
+    kind_efficiency: Dict[OpKind, float] = field(default_factory=lambda: {
+        OpKind.GEMM: 0.90,
+        OpKind.SYRK: 0.80,
+        OpKind.TRSM: 0.55,
+        OpKind.POTRF: 0.30,
+        OpKind.TRSV: 0.40,
+        OpKind.GEMV: 0.50,
+    })
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return float(self.systolic_dim * self.systolic_dim)
+
+    def op_cycles(self, op: Op) -> float:
+        if op.kind is OpKind.SCATTER_ADD:
+            rows, cols = op.dims
+            if self.has_siu:
+                # One packed instruction per block row group.
+                packed_calls = max(1.0, rows / self.systolic_dim)
+                return (self.rocc_overhead
+                        + packed_calls
+                        + rows * cols / self.siu_elems_per_cycle)
+            raise ValueError("COMP without SIU cannot scatter")
+        if op.kind in (OpKind.MEMSET, OpKind.MEMCPY):
+            raise ValueError("COMP does not execute memory ops")
+        eff = self.kind_efficiency[op.kind]
+        # flops at 2 per MAC; pipeline fill per tile pass.
+        tiles = max(1.0, op.dims[0] / self.systolic_dim)
+        return (self.rocc_overhead
+                + op.flops / (2.0 * self.macs_per_cycle * eff)
+                + self.pipeline_depth * tiles)
+
+    def supports(self, op: Op) -> bool:
+        if op.kind is OpKind.SCATTER_ADD:
+            return self.has_siu
+        return not op.is_memory_op
+
+    # -- explicit tiled model ------------------------------------------
+
+    def _tiled_gemm_cycles(self, m: int, n: int, k: int) -> float:
+        """Weight-stationary tiled GEMM: one k-deep pass per output tile.
+
+        Double buffering hides operand loads except the first fill; when
+        a pass's working set exceeds the scratchpad, operands spill to
+        the LLC, stretching every pass.
+        """
+        tile = self.systolic_dim
+        passes = math.ceil(max(1, m) / tile) * math.ceil(max(1, n) / tile)
+        working = 4 * (2 * tile * max(1, k) + tile * tile)
+        reload = max(1.0, working / self.scratchpad_bytes)
+        fill = float(tile)  # first weight load (not hidden)
+        return (self.rocc_overhead + fill
+                + passes * (max(1, k) + self.pipeline_depth) * reload)
+
+    def op_cycles_detailed(self, op: Op) -> float:
+        """Tile-walking cycle model (see class docstring)."""
+        kind, dims = op.kind, op.dims
+        tile = self.systolic_dim
+        if kind is OpKind.GEMM:
+            m, n, k = dims
+            return self._tiled_gemm_cycles(m, n, k)
+        if kind is OpKind.SYRK:
+            n, k = dims
+            # Only the lower-triangular output tiles are computed.
+            nt = math.ceil(max(1, n) / tile)
+            full = self._tiled_gemm_cycles(n, n, k)
+            tri_fraction = (nt + 1) / (2 * nt)
+            return self.rocc_overhead \
+                + (full - self.rocc_overhead) * tri_fraction
+        if kind is OpKind.TRSM:
+            n, m = dims
+            # Panel loop: per diagonal tile a sequential triangular
+            # solve, then a GEMM update of the remaining panel columns.
+            mt = math.ceil(max(1, m) / tile)
+            cycles = self.rocc_overhead
+            for panel in range(mt):
+                cycles += tile * tile
+                if m - (panel + 1) * tile > 0:
+                    cycles += self._tiled_gemm_cycles(n, tile, tile) \
+                        - self.rocc_overhead
+            cycles += n * m / (2.0 * self.macs_per_cycle)
+            return cycles
+        if kind is OpKind.POTRF:
+            (m,) = dims
+            mt = math.ceil(max(1, m) / tile)
+            cycles = self.rocc_overhead
+            for panel in range(mt):
+                cycles += 2.0 * tile * tile  # diagonal factorization
+                trailing = m - (panel + 1) * tile
+                if trailing > 0:
+                    # Panel TRSM plus (half) trailing SYRK update.
+                    cycles += self._tiled_gemm_cycles(
+                        trailing, tile, tile) - self.rocc_overhead
+                    cycles += (self._tiled_gemm_cycles(
+                        trailing, trailing, tile)
+                        - self.rocc_overhead) / 2.0
+            return cycles
+        if kind in (OpKind.TRSV, OpKind.GEMV):
+            # Vector kernels run on the array edge: bandwidth bound.
+            return self.rocc_overhead + op.flops / (2.0 * tile)
+        return self.op_cycles(op)
+
+
+@dataclass
+class MemoryAccelerator:
+    """MEM: DMA engine with virtual channels for memcpy/memset."""
+
+    bytes_per_cycle: float = 32.0
+    virtual_channels: int = 4
+    setup_overhead: float = 20.0      # VC configuration + request issue
+
+    def op_cycles(self, op: Op) -> float:
+        if not op.is_memory_op:
+            raise ValueError("MEM only executes memory ops")
+        return self.setup_overhead + op.bytes_moved / self.bytes_per_cycle
+
+    def supports(self, op: Op) -> bool:
+        return op.is_memory_op
+
+
+@dataclass
+class SoCConfig:
+    """A complete evaluated platform (paper Table 3 for SuperNoVA).
+
+    ``accel_sets`` pairs of (COMP, MEM) share the LLC with ``host`` CPU
+    tiles.  Baseline CPU/GPU platforms use ``accel_sets=0`` and run every
+    op on the host.
+    """
+
+    name: str
+    host: CpuModel
+    accel_sets: int = 0
+    cpu_tiles: int = 1
+    comp: Optional[ComputeAccelerator] = None
+    mem: Optional[MemoryAccelerator] = None
+    llc_bytes: int = 4 * 1024 * 1024
+    dram_bytes_per_cycle: float = 64.0
+    frequency_hz: float = 1.0e9
+
+    @property
+    def has_accelerators(self) -> bool:
+        return self.accel_sets > 0 and self.comp is not None
+
+    @property
+    def offloads_memory_ops(self) -> bool:
+        return self.has_accelerators and self.mem is not None
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+
+# ----------------------------------------------------------------------
+# The seven evaluated platforms (paper Sections 5.1 and 5.4)
+# ----------------------------------------------------------------------
+
+def boom_cpu() -> SoCConfig:
+    """Out-of-order RISC-V core, Cortex-A72-class, 1 GHz (baseline 1)."""
+    host = CpuModel("BOOM", 1.0e9, flops_per_cycle=2.0,
+                    mem_bytes_per_cycle=8.0, call_overhead=25.0,
+                    scatter_elems_per_cycle=1.0,
+                    relin_cycles_per_factor=2500.0,
+                    symbolic_cycles_per_column=500.0,
+                    small_matrix_penalty=4.0)
+    return SoCConfig("BOOM", host=host, frequency_hz=1.0e9)
+
+
+def mobile_cpu() -> SoCConfig:
+    """ARM Cortex-A72 at 1.5 GHz on a Raspberry Pi 4 (baseline 2)."""
+    host = CpuModel("MobileCPU", 1.5e9, flops_per_cycle=2.0,
+                    mem_bytes_per_cycle=8.0, call_overhead=30.0,
+                    scatter_elems_per_cycle=1.0,
+                    relin_cycles_per_factor=2600.0,
+                    symbolic_cycles_per_column=520.0,
+                    small_matrix_penalty=4.0)
+    return SoCConfig("MobileCPU", host=host, frequency_hz=1.5e9)
+
+
+def mobile_dsp() -> SoCConfig:
+    """Neon SIMD on the mobile CPU (baseline 3): 4-wide fp32 FMA."""
+    host = CpuModel("MobileDSP", 1.5e9, flops_per_cycle=8.0,
+                    mem_bytes_per_cycle=16.0, call_overhead=40.0,
+                    scatter_elems_per_cycle=2.0,
+                    relin_cycles_per_factor=2200.0,
+                    symbolic_cycles_per_column=520.0,
+                    small_matrix_penalty=10.0)
+    return SoCConfig("MobileDSP", host=host, frequency_hz=1.5e9)
+
+
+def server_cpu() -> SoCConfig:
+    """Intel Xeon E5-2643 at 3.5 GHz (baseline 4): wide AVX, deep OoO."""
+    host = CpuModel("ServerCPU", 3.5e9, flops_per_cycle=7.0,
+                    mem_bytes_per_cycle=24.0, call_overhead=60.0,
+                    scatter_elems_per_cycle=2.5,
+                    relin_cycles_per_factor=1100.0,
+                    symbolic_cycles_per_column=300.0,
+                    small_matrix_penalty=18.0)
+    return SoCConfig("ServerCPU", host=host, frequency_hz=3.5e9)
+
+
+def embedded_gpu() -> SoCConfig:
+    """Jetson Nano Maxwell GPU (baseline 5): cuSparse/cuSolver-style.
+
+    The A57 host handles non-numeric work; every numeric op pays a kernel
+    launch.
+    """
+    # Launch cost reflects batched/streamed kernels (cuSolver-style):
+    # amortized per op, not a full synchronous launch each time.
+    host = GpuModel("EmbeddedGPU", 0.92e9, flops_per_cycle=256.0,
+                    mem_bytes_per_cycle=28.0,
+                    kernel_launch_cycles=400.0,
+                    occupancy_saturation=2048.0,
+                    relin_cycles_per_factor=2400.0,
+                    symbolic_cycles_per_column=600.0)
+    return SoCConfig("EmbeddedGPU", host=host, frequency_hz=0.92e9)
+
+
+def rocket_cpu() -> CpuModel:
+    """In-order Rocket host tile used inside the SuperNoVA/Spatula SoCs."""
+    return CpuModel("Rocket", 1.0e9, flops_per_cycle=1.0,
+                    mem_bytes_per_cycle=8.0, call_overhead=20.0,
+                    scatter_elems_per_cycle=0.5,
+                    relin_cycles_per_factor=2200.0,
+                    symbolic_cycles_per_column=350.0,
+                    small_matrix_penalty=6.0)
+
+
+def supernova_soc(accel_sets: int = 2) -> SoCConfig:
+    """The SuperNoVA SoC (paper Table 3): COMP+MEM sets + Rocket hosts."""
+    return SoCConfig(
+        f"SuperNoVA{accel_sets}S",
+        host=rocket_cpu(),
+        accel_sets=accel_sets,
+        cpu_tiles=accel_sets,
+        comp=ComputeAccelerator(has_siu=True),
+        mem=MemoryAccelerator(),
+        llc_bytes=4 * 1024 * 1024,
+        dram_bytes_per_cycle=64.0,
+        frequency_hz=1.0e9,
+    )
+
+
+def spatula_soc(accel_sets: int = 2) -> SoCConfig:
+    """Spatula baseline: vanilla GEMM accelerators, no SIU, no MEM.
+
+    Scatter and memory management fall back on the Rocket host and
+    serialize with compute (paper Section 6.1's co-design comparison).
+    """
+    return SoCConfig(
+        f"Spatula{accel_sets}S",
+        host=rocket_cpu(),
+        accel_sets=accel_sets,
+        cpu_tiles=accel_sets,
+        comp=ComputeAccelerator(has_siu=False),
+        mem=None,
+        llc_bytes=4 * 1024 * 1024,
+        dram_bytes_per_cycle=64.0,
+        frequency_hz=1.0e9,
+    )

@@ -1,0 +1,37 @@
+"""Sparse supernodal linear algebra for the SLAM backend.
+
+Implements paper Section 3.2/3.3 from scratch:
+
+* block-level symbolic Cholesky factorization and elimination tree,
+* supernode amalgamation,
+* multifrontal numeric factorization (POTRF / TRSM / SYRK per frontal
+  matrix, extend-add merge into the parent),
+* forward/backward triangular solves over the tree,
+* an operation trace of every numeric and memory operation, which the
+  hardware simulator replays cycle-accurately.
+"""
+
+from repro.linalg.ordering import (
+    chronological_order,
+    constrained_minimum_degree_order,
+    minimum_degree_order,
+)
+from repro.linalg.symbolic import SymbolicFactorization, Supernode
+from repro.linalg.cholesky import MultifrontalCholesky
+from repro.linalg.marginals import marginal_covariance, marginal_covariances
+from repro.linalg.trace import Op, OpKind, OpTrace, NodeTrace
+
+__all__ = [
+    "chronological_order",
+    "constrained_minimum_degree_order",
+    "minimum_degree_order",
+    "marginal_covariance",
+    "marginal_covariances",
+    "SymbolicFactorization",
+    "Supernode",
+    "MultifrontalCholesky",
+    "Op",
+    "OpKind",
+    "OpTrace",
+    "NodeTrace",
+]

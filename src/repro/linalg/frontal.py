@@ -1,0 +1,100 @@
+"""Frontal-matrix helpers shared by the batch and incremental solvers.
+
+A supernode's frontal matrix F is the dense (m+n) x (m+n) workspace of
+paper Fig. 4: the first m columns belong to the node (A and B blocks), the
+trailing n x n block accumulates the update matrix C that is extend-added
+into the parent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from repro.linalg.trace import NodeTrace, OpKind
+
+
+class SingularHessianError(RuntimeError):
+    """The Hessian was not positive definite at a supernode.
+
+    Usually means the graph is under-constrained (no prior) — add a prior
+    factor or pass ``damping > 0``.
+    """
+
+
+def front_offsets(positions: Sequence[int], row_pattern: Sequence[int],
+                  dims: Sequence[int]) -> Tuple[Dict[int, int], int, int]:
+    """Map each position in the frontal matrix to its scalar row offset.
+
+    Returns ``(offset_of_position, m, front_size)`` where the node's own
+    ``positions`` come first, then the sub-diagonal ``row_pattern``.
+    """
+    offsets: Dict[int, int] = {}
+    cursor = 0
+    for p in positions:
+        offsets[p] = cursor
+        cursor += dims[p]
+    m = cursor
+    for p in row_pattern:
+        offsets[p] = cursor
+        cursor += dims[p]
+    return offsets, m, cursor
+
+
+_RANGE_CACHE: Dict[int, range] = {}
+
+
+def gather_indices(positions: Sequence[int], dims: Sequence[int],
+                   offsets: Dict[int, int]) -> np.ndarray:
+    """Scalar frontal indices covering ``positions`` (for fancy scatter)."""
+    idx: List[int] = []
+    extend = idx.extend
+    for p in positions:
+        base = offsets[p]
+        extend(range(base, base + dims[p]))
+    return np.asarray(idx, dtype=np.intp)
+
+
+def scatter_add_block(front: np.ndarray, idx: np.ndarray,
+                      block: np.ndarray) -> None:
+    """front[idx, idx] += block (dense block scatter-addition)."""
+    front[idx[:, None], idx] += block
+
+
+def factorize_front(
+    front: np.ndarray,
+    m: int,
+    trace: NodeTrace = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Partial factorization of a frontal matrix (paper Fig. 5 bottom).
+
+    Returns ``(L_A, L_B, C_update)`` where ``C_update`` is the Schur
+    complement to extend-add into the parent.
+    """
+    n_below = front.shape[0] - m
+    a_block = front[:m, :m]
+    try:
+        l_a = np.linalg.cholesky(a_block)
+    except np.linalg.LinAlgError as exc:
+        raise SingularHessianError(
+            f"supernode diagonal block ({m}x{m}) not positive definite; "
+            "the graph may lack a prior — add one or use damping") from exc
+    if trace is not None:
+        trace.record(OpKind.POTRF, m)
+    if n_below:
+        b_block = front[m:, :m]
+        # L_B = B L_A^-T, computed as (L_A^-1 B^T)^T.
+        l_b = scipy.linalg.solve_triangular(
+            l_a, b_block.T, lower=True, check_finite=False).T
+        c_update = front[m:, m:] - l_b @ l_b.T
+        if trace is not None:
+            trace.record(OpKind.TRSM, n_below, m)
+            trace.record(OpKind.SYRK, n_below, m)
+    else:
+        l_b = np.zeros((0, m))
+        c_update = np.zeros((0, 0))
+    if trace is not None:
+        trace.record(OpKind.MEMCPY, 4 * (m + n_below) * m)
+    return l_a, l_b, c_update

@@ -1,0 +1,40 @@
+"""Marginal covariance recovery from a supernodal factorization.
+
+The marginal covariance of variable j is the corresponding diagonal
+block of ``H^-1``, obtained by solving ``H x = e_k`` for each scalar
+column of the variable through the already-computed Cholesky factor —
+the standard way SLAM frontends get landmark/pose uncertainty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.linalg.cholesky import MultifrontalCholesky
+
+
+def marginal_covariance(solver: MultifrontalCholesky,
+                        position: int) -> np.ndarray:
+    """Covariance block of one elimination position.
+
+    Requires a prior ``solver.factorize(...)``.
+    """
+    dims = solver.symbolic.dims
+    dim = dims[position]
+    cov = np.zeros((dim, dim))
+    for axis in range(dim):
+        rhs: List[np.ndarray] = [np.zeros(d) for d in dims]
+        rhs[position][axis] = 1.0
+        column = solver.solve_vector(rhs)
+        cov[:, axis] = column[position]
+    # Symmetrize away round-off.
+    return 0.5 * (cov + cov.T)
+
+
+def marginal_covariances(solver: MultifrontalCholesky,
+                         positions: Sequence[int],
+                         ) -> Dict[int, np.ndarray]:
+    """Covariance blocks for several positions."""
+    return {p: marginal_covariance(solver, p) for p in positions}

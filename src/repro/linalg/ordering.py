@@ -1,0 +1,166 @@
+"""Variable elimination orderings.
+
+Incremental SLAM uses the *chronological* ordering (oldest pose eliminated
+first, newest near the root): new measurements then only touch nodes near
+the root, and loop closures reach deep into the tree — exactly the dynamics
+the paper's Figure 2/11 show.  Minimum degree, constrained minimum degree
+(ISAM2's recent-variables-last idiom), and nested dissection are provided
+for batch solves and the ordering ablation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.factorgraph.keys import Key
+
+
+def chronological_order(keys: Iterable[Key]) -> List[Key]:
+    """Sort keys ascending: pose i is eliminated before pose i+1."""
+    return sorted(keys)
+
+
+def minimum_degree_order(
+    keys: Iterable[Key],
+    factor_keys: Sequence[Tuple[Key, ...]],
+) -> List[Key]:
+    """Greedy minimum-degree ordering on the variable adjacency graph.
+
+    A simple (non-approximate, non-multiple) minimum-degree: repeatedly
+    eliminate the variable with the fewest neighbors, connecting its
+    neighborhood into a clique.  Ties break on key for determinism.
+    """
+    adjacency: Dict[Key, Set[Key]] = {key: set() for key in keys}
+    for fkeys in factor_keys:
+        for a in fkeys:
+            for b in fkeys:
+                if a != b:
+                    adjacency[a].add(b)
+
+    heap = [(len(neigh), key) for key, neigh in adjacency.items()]
+    heapq.heapify(heap)
+    eliminated: Set[Key] = set()
+    order: List[Key] = []
+    while heap:
+        degree, key = heapq.heappop(heap)
+        if key in eliminated:
+            continue
+        if degree != len(adjacency[key]):
+            # Stale heap entry; reinsert with the current degree.
+            heapq.heappush(heap, (len(adjacency[key]), key))
+            continue
+        eliminated.add(key)
+        order.append(key)
+        neighbors = adjacency.pop(key)
+        for a in neighbors:
+            adjacency[a].discard(key)
+        for a in neighbors:
+            for b in neighbors:
+                if a != b and b not in adjacency[a]:
+                    adjacency[a].add(b)
+        for a in neighbors:
+            heapq.heappush(heap, (len(adjacency[a]), a))
+    return order
+
+
+def constrained_minimum_degree_order(
+    keys: Iterable[Key],
+    factor_keys: Sequence[Tuple[Key, ...]],
+    last_keys: Iterable[Key],
+) -> List[Key]:
+    """Minimum degree with a set of keys forced to the end of the order.
+
+    The constrained-COLAMD idiom ISAM2 uses: the most recent variables go
+    last (near the root of the elimination tree) so the next incremental
+    update touches only the top, while the rest is ordered for low fill.
+    """
+    last = list(dict.fromkeys(last_keys))  # de-dup, preserve order
+    last_set = set(last)
+    head_keys = [k for k in keys if k not in last_set]
+    # Order the head considering the full graph (cliques with "last"
+    # variables still induce head-side fill, so keep those edges by
+    # projecting each factor onto its head members plus one virtual tail).
+    head_factors = [tuple(k for k in fk if k not in last_set)
+                    for fk in factor_keys]
+    head_factors = [fk for fk in head_factors if len(fk) > 1]
+    head_order = minimum_degree_order(head_keys, head_factors)
+    return head_order + sorted(last)
+
+
+def _bisect(graph: "nx.Graph") -> Tuple[Set[Key], Set[Key], List[Key]]:
+    """Split a connected graph into (left, right, separator).
+
+    Spectral bisection via the Fiedler vector; the separator is the set
+    of right-side endpoints of cut edges (a vertex separator derived
+    from the edge cut).
+    """
+    nodes = list(graph.nodes())
+    try:
+        fiedler = nx.fiedler_vector(graph, method="tracemin_lu")
+    except (nx.NetworkXError, ValueError):
+        # Tiny or degenerate graphs: split by sorted order.
+        half = len(nodes) // 2
+        ordered = sorted(nodes)
+        return set(ordered[:half]), set(ordered[half:]), []
+    median = sorted(fiedler)[len(fiedler) // 2]
+    left = {n for n, v in zip(nodes, fiedler) if v < median}
+    right = set(nodes) - left
+    if not left or not right:
+        half = len(nodes) // 2
+        ordered = sorted(nodes)
+        return set(ordered[:half]), set(ordered[half:]), []
+    separator = sorted({b if a in left else a
+                        for a, b in graph.edges()
+                        if (a in left) != (b in left)})
+    left -= set(separator)
+    right -= set(separator)
+    return left, right, separator
+
+
+def nested_dissection_order(
+    keys: Iterable[Key],
+    factor_keys: Sequence[Tuple[Key, ...]],
+    leaf_size: int = 32,
+) -> List[Key]:
+    """Recursive nested dissection on the variable adjacency graph.
+
+    Separators are eliminated last, so the elimination tree branches at
+    each separator — the classic low-fill, high-parallelism ordering for
+    mesh-like SLAM graphs.  Subgraphs below ``leaf_size`` fall back to
+    minimum degree.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(keys)
+    for fkeys in factor_keys:
+        for i, a in enumerate(fkeys):
+            for b in fkeys[i + 1:]:
+                if a != b:
+                    graph.add_edge(a, b)
+
+    def dissect(subgraph: "nx.Graph") -> List[Key]:
+        nodes = list(subgraph.nodes())
+        if len(nodes) <= leaf_size:
+            sub_factors = [tuple(e) for e in subgraph.edges()]
+            return minimum_degree_order(nodes, sub_factors)
+        components = list(nx.connected_components(subgraph))
+        if len(components) > 1:
+            out: List[Key] = []
+            for component in components:
+                out.extend(dissect(subgraph.subgraph(component).copy()))
+            return out
+        left, right, separator = _bisect(subgraph)
+        if not separator and (not left or not right):
+            sub_factors = [tuple(e) for e in subgraph.edges()]
+            return minimum_degree_order(nodes, sub_factors)
+        out = []
+        if left:
+            out.extend(dissect(subgraph.subgraph(left).copy()))
+        if right:
+            out.extend(dissect(subgraph.subgraph(right).copy()))
+        out.extend(sorted(separator))
+        return out
+
+    return dissect(graph)

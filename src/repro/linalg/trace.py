@@ -1,0 +1,173 @@
+"""Operation traces emitted by the numeric factorization.
+
+Every numeric/memory operation the solver performs is recorded as an
+:class:`Op` with its exact dimensions.  The hardware layer
+(:mod:`repro.hardware`) maps each op to a cycle count on a given platform,
+and the runtime (:mod:`repro.runtime`) schedules node traces across
+accelerator sets.  This is the substitution for the paper's FireSim RTL
+simulation: identical work, modeled timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+_FP32_BYTES = 4
+
+
+class OpKind(enum.Enum):
+    """The operation vocabulary of the SLAM backend (paper Fig. 3/5)."""
+
+    GEMM = "gemm"              # dense C += A @ B           dims = (m, n, k)
+    SYRK = "syrk"              # C -= B @ B^T               dims = (n, k)
+    TRSM = "trsm"              # B <- B @ L^-T              dims = (n, m)
+    POTRF = "potrf"            # dense Cholesky             dims = (m,)
+    TRSV = "trsv"              # triangular solve, 1 rhs    dims = (m,)
+    GEMV = "gemv"              # y += A @ x                 dims = (m, n)
+    SCATTER_ADD = "scatter"    # block scatter-addition     dims = (rows, cols)
+    MEMSET = "memset"          # clear workspace            dims = (bytes,)
+    MEMCPY = "memcpy"          # copy / prefetch            dims = (bytes,)
+
+
+@dataclass(frozen=True)
+class Op:
+    """One traced operation with its shape, flop count and byte traffic."""
+
+    kind: OpKind
+    dims: Tuple[int, ...]
+
+    @property
+    def flops(self) -> int:
+        kind, dims = self.kind, self.dims
+        if kind is OpKind.GEMM:
+            m, n, k = dims
+            return 2 * m * n * k
+        if kind is OpKind.SYRK:
+            n, k = dims
+            return n * (n + 1) * k
+        if kind is OpKind.TRSM:
+            n, m = dims
+            return n * m * m
+        if kind is OpKind.POTRF:
+            (m,) = dims
+            return max(1, m * m * m // 3)
+        if kind is OpKind.TRSV:
+            (m,) = dims
+            return m * m
+        if kind is OpKind.GEMV:
+            m, n = dims
+            return 2 * m * n
+        if kind is OpKind.SCATTER_ADD:
+            rows, cols = dims
+            return rows * cols
+        return 0
+
+    @property
+    def bytes_moved(self) -> int:
+        kind, dims = self.kind, self.dims
+        if kind in (OpKind.MEMSET, OpKind.MEMCPY):
+            return dims[0]
+        if kind is OpKind.GEMM:
+            m, n, k = dims
+            return _FP32_BYTES * (m * k + k * n + m * n)
+        if kind is OpKind.SYRK:
+            n, k = dims
+            return _FP32_BYTES * (n * k + n * n)
+        if kind is OpKind.TRSM:
+            n, m = dims
+            return _FP32_BYTES * (n * m + m * m)
+        if kind is OpKind.POTRF:
+            (m,) = dims
+            return _FP32_BYTES * m * m
+        if kind is OpKind.TRSV:
+            (m,) = dims
+            return _FP32_BYTES * (m * m // 2 + 2 * m)
+        if kind is OpKind.GEMV:
+            m, n = dims
+            return _FP32_BYTES * (m * n + m + n)
+        if kind is OpKind.SCATTER_ADD:
+            rows, cols = dims
+            return 3 * _FP32_BYTES * rows * cols
+        return 0
+
+    @property
+    def is_memory_op(self) -> bool:
+        """Ops offloadable to the MEM accelerator."""
+        return self.kind in (OpKind.MEMSET, OpKind.MEMCPY)
+
+
+@dataclass
+class NodeTrace:
+    """All operations performed while processing one supernode."""
+
+    node_id: int
+    cols: int = 0                     # m: columns owned by the supernode
+    rows_below: int = 0               # n: rows below the diagonal block
+    ops: List[Op] = field(default_factory=list)
+
+    def record(self, kind: OpKind, *dims: int) -> None:
+        self.ops.append(Op(kind, tuple(int(d) for d in dims)))
+
+    @property
+    def flops(self) -> int:
+        return sum(op.flops for op in self.ops)
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(op.bytes_moved for op in self.ops)
+
+    def split(self) -> Tuple[List[Op], List[Op]]:
+        """Partition into (compute ops, memory ops) for COMP/MEM overlap."""
+        compute = [op for op in self.ops if not op.is_memory_op]
+        memory = [op for op in self.ops if op.is_memory_op]
+        return compute, memory
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Frontal workspace footprint (paper Algorithm 2's calc_space)."""
+        front = self.cols + self.rows_below
+        return _FP32_BYTES * front * front
+
+
+class OpTrace:
+    """A per-step trace: one :class:`NodeTrace` per processed supernode,
+    plus loose operations not tied to any node (e.g. solve sweeps)."""
+
+    def __init__(self):
+        self.nodes: Dict[int, NodeTrace] = {}
+        self.loose: NodeTrace = NodeTrace(node_id=-1)
+
+    def node(self, node_id: int, cols: int = 0,
+             rows_below: int = 0) -> NodeTrace:
+        trace = self.nodes.get(node_id)
+        if trace is None:
+            trace = NodeTrace(node_id=node_id, cols=cols,
+                              rows_below=rows_below)
+            self.nodes[node_id] = trace
+        else:
+            trace.cols = max(trace.cols, cols)
+            trace.rows_below = max(trace.rows_below, rows_below)
+        return trace
+
+    @property
+    def flops(self) -> int:
+        return (sum(t.flops for t in self.nodes.values())
+                + self.loose.flops)
+
+    @property
+    def bytes_moved(self) -> int:
+        return (sum(t.bytes_moved for t in self.nodes.values())
+                + self.loose.bytes_moved)
+
+    def ops_by_kind(self) -> Dict[OpKind, int]:
+        """Total flops+bytes weight per op kind (for breakdown figures)."""
+        totals: Dict[OpKind, int] = {}
+        for trace in list(self.nodes.values()) + [self.loose]:
+            for op in trace.ops:
+                totals[op.kind] = totals.get(op.kind, 0) + 1
+        return totals
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,32 @@
+"""Trajectory accuracy and latency metrics (paper Section 5.3).
+
+Replaces the ``evo`` package: absolute pose error against a reference
+trajectory (MAX and RMSE), the incremental iRMSE of Eq. (3) — the
+per-step RMSE averaged over steps — and latency statistics (target miss
+rate, percentiles, breakdown aggregation).
+"""
+
+from repro.metrics.alignment import umeyama_alignment
+from repro.metrics.ape import (
+    ape_statistics,
+    irmse,
+    translation_errors,
+)
+from repro.metrics.rpe import relative_pose_errors, rpe_statistics
+from repro.metrics.latency import (
+    LatencyStats,
+    breakdown_means,
+    latency_stats,
+)
+
+__all__ = [
+    "umeyama_alignment",
+    "translation_errors",
+    "ape_statistics",
+    "irmse",
+    "relative_pose_errors",
+    "rpe_statistics",
+    "LatencyStats",
+    "latency_stats",
+    "breakdown_means",
+]

@@ -1,0 +1,50 @@
+"""Umeyama trajectory alignment (the evo-style SE(n)/Sim(n) fit)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def umeyama_alignment(source: np.ndarray, target: np.ndarray,
+                      with_scale: bool = False,
+                      ) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Least-squares rigid (optionally similarity) transform fitting
+    ``target ~= scale * R @ source + t``.
+
+    Parameters
+    ----------
+    source / target:
+        (n, d) point arrays (trajectory positions).
+
+    Returns
+    -------
+    (rotation, translation, scale)
+    """
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if source.shape != target.shape:
+        raise ValueError("source and target must have the same shape")
+    if source.ndim != 2 or source.shape[0] < 1:
+        raise ValueError("need at least one point")
+
+    dim = source.shape[1]
+    mu_src = source.mean(axis=0)
+    mu_dst = target.mean(axis=0)
+    src_c = source - mu_src
+    dst_c = target - mu_dst
+    cov = dst_c.T @ src_c / source.shape[0]
+    u, singular, vt = np.linalg.svd(cov)
+    sign = np.eye(dim)
+    if np.linalg.det(u) * np.linalg.det(vt) < 0:
+        sign[-1, -1] = -1.0
+    rotation = u @ sign @ vt
+    if with_scale:
+        var_src = (src_c ** 2).sum() / source.shape[0]
+        scale = float(np.trace(np.diag(singular) @ sign) / var_src) \
+            if var_src > 0 else 1.0
+    else:
+        scale = 1.0
+    translation = mu_dst - scale * rotation @ mu_src
+    return rotation, translation, scale

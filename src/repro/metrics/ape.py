@@ -1,0 +1,62 @@
+"""Absolute pose error (APE) metrics: MAX, RMSE, iRMSE."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.metrics.alignment import umeyama_alignment
+
+
+def _positions(values, keys) -> np.ndarray:
+    pts = []
+    for key in keys:
+        pose = values.at(key) if hasattr(values, "at") else values[key]
+        t = pose.t
+        pts.append(np.atleast_1d(np.asarray(t, dtype=float)))
+    return np.vstack(pts)
+
+
+def translation_errors(estimate, reference, keys: Sequence,
+                       align: bool = False) -> np.ndarray:
+    """Per-pose translation error magnitudes over the given keys.
+
+    With ``align=True`` the estimate is Umeyama-aligned to the reference
+    first (evo's default); with ``align=False`` the shared anchor frame is
+    used directly (appropriate when a prior pins the first pose).
+    """
+    keys = list(keys)
+    if not keys:
+        return np.zeros(0)
+    est = _positions(estimate, keys)
+    ref = _positions(reference, keys)
+    if align and len(keys) >= 3:
+        rot, trans, scale = umeyama_alignment(est, ref)
+        est = (scale * (rot @ est.T)).T + trans
+    return np.linalg.norm(est - ref, axis=1)
+
+
+def ape_statistics(estimate, reference, keys: Sequence,
+                   align: bool = False) -> Dict[str, float]:
+    """MAX and RMSE of the translation APE (paper Table 4 columns)."""
+    errors = translation_errors(estimate, reference, keys, align)
+    if errors.size == 0:
+        return {"max": 0.0, "rmse": 0.0}
+    return {
+        "max": float(np.max(errors)),
+        "rmse": float(np.sqrt(np.mean(errors ** 2))),
+    }
+
+
+def irmse(per_step_rmse: Iterable[float]) -> float:
+    """Incremental RMSE (paper Eq. 3): per-step RMSE averaged over steps.
+
+    Online SLAM must be judged at every timestep, not only at the end —
+    a method that is accurate only after the final loop closure still
+    rendered garbage in between.
+    """
+    values = [float(v) for v in per_step_rmse]
+    if not values:
+        return 0.0
+    return float(np.mean(values))

@@ -1,0 +1,54 @@
+"""Latency statistics: miss rates, percentiles, breakdown aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class LatencyStats:
+    """Distribution summary of per-step latencies (paper Fig. 10 boxes)."""
+
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    miss_rate: float          # fraction of steps exceeding the target
+    target: float
+
+    def meets_target(self) -> bool:
+        return self.miss_rate == 0.0
+
+
+def latency_stats(latencies_s: Sequence[float],
+                  target_s: float) -> LatencyStats:
+    """Summarize per-step latencies against a real-time target."""
+    arr = np.asarray(list(latencies_s), dtype=float)
+    if arr.size == 0:
+        return LatencyStats(0.0, 0.0, 0.0, 0.0, 0.0, target_s)
+    return LatencyStats(
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+        miss_rate=float(np.mean(arr > target_s)),
+        target=float(target_s),
+    )
+
+
+def breakdown_means(breakdowns: Iterable[Dict[str, float]],
+                    ) -> Dict[str, float]:
+    """Average each component of per-step latency breakdowns
+    (paper Fig. 11 bars)."""
+    totals: Dict[str, float] = {}
+    count = 0
+    for breakdown in breakdowns:
+        count += 1
+        for name, value in breakdown.items():
+            totals[name] = totals.get(name, 0.0) + value
+    if count == 0:
+        return {}
+    return {name: value / count for name, value in totals.items()}

@@ -1,0 +1,50 @@
+"""Relative pose error (RPE).
+
+Where APE measures absolute drift against a reference, RPE measures the
+error of relative motions over a fixed step ``delta`` — the standard
+odometry-quality metric (evo's second metric).  Insensitive to global
+alignment, so it isolates local estimation quality from loop-closure
+corrections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _pose(container, key):
+    return container.at(key) if hasattr(container, "at") \
+        else container[key]
+
+
+def relative_pose_errors(estimate, reference, keys: Sequence,
+                         delta: int = 1) -> np.ndarray:
+    """Per-pair relative translation error magnitudes.
+
+    For each pair (k, k+delta), compares the estimated relative motion
+    against the reference relative motion; returns the translation error
+    norms of the discrepancy transforms.
+    """
+    keys = list(keys)
+    errors = []
+    for a, b in zip(keys, keys[delta:]):
+        est_rel = _pose(estimate, a).between(_pose(estimate, b))
+        ref_rel = _pose(reference, a).between(_pose(reference, b))
+        diff = ref_rel.inverse().compose(est_rel)
+        errors.append(float(np.linalg.norm(diff.t)))
+    return np.asarray(errors)
+
+
+def rpe_statistics(estimate, reference, keys: Sequence,
+                   delta: int = 1) -> Dict[str, float]:
+    """RMSE / max / mean of the relative pose error."""
+    errors = relative_pose_errors(estimate, reference, keys, delta)
+    if errors.size == 0:
+        return {"rmse": 0.0, "max": 0.0, "mean": 0.0}
+    return {
+        "rmse": float(np.sqrt(np.mean(errors ** 2))),
+        "max": float(np.max(errors)),
+        "mean": float(np.mean(errors)),
+    }

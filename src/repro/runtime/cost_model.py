@@ -1,0 +1,100 @@
+"""Per-supernode latency estimation (paper Section 4.3.3).
+
+The resource-aware algorithm budgets relinearization work using this
+model: it predicts the processing time of a supernode from its dimensions
+without running the numeric factorization, by synthesizing the op
+sequence the node *would* execute and pricing it on the platform models.
+"""
+
+from __future__ import annotations
+
+
+
+from repro.hardware.platforms import SoCConfig
+from repro.linalg.trace import NodeTrace, Op, OpKind
+from repro.runtime.scheduler import RuntimeFeatures, _node_duration, \
+    node_cycles
+
+
+def synthesize_node_ops(m: int, n_below: int, num_factors: int,
+                        factor_dim: int = 6,
+                        residual_dim: int = 3) -> NodeTrace:
+    """Build the op sequence of a supernode with the given dimensions.
+
+    Mirrors ``IncrementalEngine._refactorize``: workspace memset, per-
+    factor Hessian construction (prefetch + small GEMM + scatter), child
+    merge scatter, partial factorization, copy-out, and the solve sweep.
+    """
+    front = m + n_below
+    trace = NodeTrace(node_id=-1, cols=m, rows_below=n_below)
+    trace.record(OpKind.MEMSET, 4 * front * front)
+    for _ in range(max(0, num_factors)):
+        trace.record(OpKind.MEMCPY, 4 * residual_dim * (factor_dim + 1))
+        trace.record(OpKind.GEMM, factor_dim, factor_dim, residual_dim)
+        trace.record(OpKind.SCATTER_ADD, factor_dim, factor_dim)
+    if n_below:
+        # One child merge of the typical update-matrix size.
+        trace.record(OpKind.SCATTER_ADD, n_below, n_below)
+    trace.record(OpKind.POTRF, m)
+    if n_below:
+        trace.record(OpKind.TRSM, n_below, m)
+        trace.record(OpKind.SYRK, n_below, m)
+    trace.record(OpKind.MEMCPY, 4 * front * m)
+    trace.record(OpKind.TRSV, m)
+    if n_below:
+        trace.record(OpKind.GEMV, n_below, m)
+    trace.record(OpKind.TRSV, m)
+    return trace
+
+
+class NodeCostModel:
+    """Estimates node and step costs on a platform configuration.
+
+    Parameters
+    ----------
+    soc:
+        The platform (typically a SuperNoVA SoC configuration).
+    features:
+        Runtime optimizations assumed active.
+    parallel_efficiency:
+        Fraction of ideal multi-set speedup the scheduler is assumed to
+        achieve across the whole step (used when budgeting, since the
+        selection pass cannot run the full schedule).
+    """
+
+    def __init__(self, soc: SoCConfig,
+                 features: RuntimeFeatures = RuntimeFeatures.all(),
+                 parallel_efficiency: float = 0.7):
+        self.soc = soc
+        self.features = features
+        self.parallel_efficiency = float(parallel_efficiency)
+
+    def node_seconds(self, m: int, n_below: int,
+                     num_factors: int) -> float:
+        """Wall time for one supernode on one accelerator set."""
+        trace = synthesize_node_ops(m, n_below, num_factors)
+        comp, mem, host = node_cycles(trace, self.soc, self.features)
+        cycles = _node_duration(comp, mem, host, 1, self.features)
+        return self.soc.seconds(cycles)
+
+    def step_speedup(self) -> float:
+        """Assumed speedup of the scheduled step over serial node time."""
+        if not self.soc.has_accelerators or self.soc.accel_sets <= 1:
+            return 1.0
+        if not (self.features.inter_node or self.features.intra_node):
+            return 1.0
+        return max(1.0, self.soc.accel_sets * self.parallel_efficiency)
+
+    def relin_seconds(self, num_factors: int) -> float:
+        return self.soc.host.seconds(
+            self.soc.host.relin_cycles(num_factors)
+            / max(1, self.soc.cpu_tiles))
+
+    def symbolic_seconds(self, num_columns: int) -> float:
+        return self.soc.host.seconds(
+            self.soc.host.symbolic_cycles(num_columns))
+
+    def selection_seconds(self, num_visits: int,
+                          cycles_per_visit: float = 60.0) -> float:
+        """Cost of the RA-ISAM2 selection pass itself (<= 2 visits/node)."""
+        return self.soc.host.seconds(num_visits * cycles_per_visit)

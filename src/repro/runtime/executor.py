@@ -1,0 +1,101 @@
+"""Full backend step latency on a simulated platform.
+
+Combines the non-numeric host work (relinearization, symbolic, selection
+overhead — paper Section 3.3) with the scheduled numeric factorization to
+produce the per-step latency the paper's Figures 8, 10 and 11 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hardware.platforms import SoCConfig
+from repro.runtime.scheduler import (
+    RuntimeFeatures,
+    SimResult,
+    sequential_cycles,
+    simulate_tree,
+)
+from repro.solvers.base import StepReport
+
+
+@dataclass
+class StepLatency:
+    """Latency breakdown of one backend step, in seconds."""
+
+    relinearization: float
+    symbolic: float
+    numeric: float
+    overhead: float            # RA-ISAM2 selection pass
+    utilization: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.relinearization + self.symbolic + self.numeric
+                + self.overhead)
+
+    @property
+    def total_ms(self) -> float:
+        return 1e3 * self.total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "relinearization": self.relinearization,
+            "symbolic": self.symbolic,
+            "numeric": self.numeric,
+            "overhead": self.overhead,
+            "total": self.total,
+        }
+
+
+def execute_step(
+    report: StepReport,
+    soc: SoCConfig,
+    parents: Optional[Dict[int, Optional[int]]] = None,
+    features: RuntimeFeatures = RuntimeFeatures.all(),
+    selection_cycles_per_visit: float = 60.0,
+) -> StepLatency:
+    """Price one solver step on a platform.
+
+    Parameters
+    ----------
+    report:
+        The solver's :class:`StepReport` (with its trace attached).
+    soc:
+        The evaluated platform.
+    parents:
+        Dependency tree among traced supernodes (required for parallel
+        scheduling on accelerator platforms; CPU/GPU platforms run the
+        trace sequentially).
+    """
+    host = soc.host
+    # Relinearization is trivially parallel (paper Section 3.3) and is
+    # split across the SoC's CPU tiles; symbolic factorization follows
+    # tree dependencies and stays serial.
+    relin = host.seconds(host.relin_cycles(report.relinearized_factors)
+                         / max(1, soc.cpu_tiles))
+    symbolic = host.seconds(host.symbolic_cycles(report.affected_columns))
+    overhead = host.seconds(
+        report.selection_visits * selection_cycles_per_visit)
+
+    utilization = 0.0
+    if report.trace is None or not report.trace.nodes:
+        numeric = 0.0
+    elif soc.has_accelerators:
+        result: SimResult = simulate_tree(
+            report.trace.nodes, parents or {}, soc, features)
+        numeric = soc.seconds(result.makespan_cycles)
+        utilization = result.utilization
+    else:
+        cycles = sequential_cycles(list(report.trace.nodes.values()), soc)
+        cycles += sum(host.op_cycles(op) for op in report.trace.loose.ops)
+        numeric = host.seconds(cycles)
+
+    return StepLatency(
+        relinearization=relin,
+        symbolic=symbolic,
+        numeric=numeric,
+        overhead=overhead,
+        utilization=utilization,
+    )

@@ -1,0 +1,30 @@
+"""SLAM backend solvers.
+
+* :class:`GaussNewton` — batch reference solver (used for ground-truthing
+  and the reference trajectories of the accuracy metrics).
+* :class:`ISAM2` — incremental smoothing and mapping with fluid
+  relinearization and partial refactorization (paper Section 3.4); the
+  "Incremental" baseline.
+* :class:`FixedLagSmoother` — sliding-window "Local" baseline.
+* :class:`LocalGlobal` — multi-level local + asynchronous loop-closure
+  solver ("Local+Global" baseline).
+
+The resource-aware solver (RA-ISAM2) lives in :mod:`repro.core`.
+"""
+
+from repro.solvers.base import StepReport
+from repro.solvers.gauss_newton import GaussNewton
+from repro.solvers.isam2 import ISAM2, IncrementalEngine
+from repro.solvers.fixed_lag import FixedLagSmoother
+from repro.solvers.levenberg import LevenbergMarquardt
+from repro.solvers.local_global import LocalGlobal
+
+__all__ = [
+    "StepReport",
+    "GaussNewton",
+    "LevenbergMarquardt",
+    "ISAM2",
+    "IncrementalEngine",
+    "FixedLagSmoother",
+    "LocalGlobal",
+]

@@ -1,0 +1,51 @@
+"""Shared solver types.
+
+Every online solver exposes ``update(step) -> StepReport``; the report
+carries the work counters and the numeric operation trace that the
+latency experiments feed into the hardware simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.linalg.trace import OpTrace
+
+ParentMap = Dict[int, Optional[int]]
+
+
+@dataclass
+class StepReport:
+    """What one backend iteration did (for latency/accuracy accounting).
+
+    Attributes
+    ----------
+    step:
+        Index of the processed timestep.
+    relinearized_variables / relinearized_factors:
+        Fluid-relinearization work (non-numeric, runs on CPU).
+    affected_columns:
+        Columns whose symbolic structure was recomputed.
+    refactored_nodes:
+        Supernodes numerically refactorized this step.
+    trace:
+        Numeric operation trace (None for solvers without one).
+    selection_visits:
+        Node visits performed by the RA-ISAM2 selection pass
+        (paper: "at most two visits per node").
+    deferred_variables:
+        Relinearization candidates skipped to respect the budget
+        (RA-ISAM2 only).
+    """
+
+    step: int
+    relinearized_variables: int = 0
+    relinearized_factors: int = 0
+    affected_columns: int = 0
+    refactored_nodes: int = 0
+    trace: Optional[OpTrace] = None
+    selection_visits: int = 0
+    deferred_variables: int = 0
+    node_parents: Optional[ParentMap] = None
+    extras: Dict[str, float] = field(default_factory=dict)

@@ -1,0 +1,22 @@
+"""Linearization of a factor graph into per-factor Hessian contributions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.factorgraph.factors import Factor
+from repro.factorgraph.keys import Key
+from repro.linalg.cholesky import FactorContribution, contribution_from_blocks
+
+
+def linearize_factor(factor: Factor, values,
+                     position_of: Dict[Key, int]) -> FactorContribution:
+    """Linearize one factor at ``values`` into a Hessian contribution."""
+    blocks, rhs = factor.linearize(values)
+    return contribution_from_blocks(position_of, blocks, rhs)
+
+
+def linearize_graph(factors: Iterable[Factor], values,
+                    position_of: Dict[Key, int]) -> List[FactorContribution]:
+    """Linearize every factor at the current values."""
+    return [linearize_factor(f, values, position_of) for f in factors]

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import read_g2o
+
+
+@pytest.fixture
+def g2o_file(tmp_path):
+    path = os.path.join(tmp_path, "mini.g2o")
+    assert main(["generate", "--dataset", "M3500", "--scale", "0.01",
+                 str(path)]) == 0
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_g2o(self, g2o_file):
+        values, factors = read_g2o(g2o_file)
+        assert len(values) == 35
+        assert len(factors) >= 34
+
+    def test_sphere_3d(self, tmp_path):
+        path = os.path.join(tmp_path, "s.g2o")
+        assert main(["generate", "--dataset", "Sphere", "--scale",
+                     "0.01", str(path)]) == 0
+        values, _ = read_g2o(path)
+        assert type(values.at(0)).__name__ == "SE3"
+
+
+class TestInfo:
+    def test_reports_counts(self, g2o_file, capsys):
+        assert main(["info", g2o_file]) == 0
+        out = capsys.readouterr().out
+        assert "35 vertices" in out
+        assert "SE2" in out
+
+
+class TestSolve:
+    @pytest.mark.parametrize("solver", ["gn", "lm", "isam2"])
+    def test_solvers_run(self, g2o_file, solver, capsys, tmp_path):
+        out_path = os.path.join(tmp_path, f"out_{solver}.g2o")
+        assert main(["solve", g2o_file, "--solver", solver,
+                     "--out", out_path]) == 0
+        assert "final objective" in capsys.readouterr().out
+        values, _ = read_g2o(out_path)
+        assert len(values) == 35
+
+    def test_solve_reduces_objective(self, g2o_file, capsys):
+        main(["solve", g2o_file, "--solver", "lm"])
+        out = capsys.readouterr().out
+        objective = float(out.split("final objective")[1].split()[0])
+        assert objective < 1e3
+
+
+class TestSimulate:
+    def test_supernova(self, capsys):
+        assert main(["simulate", "--dataset", "M3500", "--scale", "0.02",
+                     "--platform", "supernova1"]) == 0
+        out = capsys.readouterr().out
+        assert "per-step latency" in out
+        assert "misses" in out
+
+    def test_cpu_baseline(self, capsys):
+        assert main(["simulate", "--dataset", "M3500", "--scale", "0.02",
+                     "--platform", "boom"]) == 0
+        assert "BOOM" in capsys.readouterr().out
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--dataset", "M3500",
+                  "--platform", "tpu"])

@@ -1,0 +1,65 @@
+"""Tests for the explicit tiled COMP cycle model."""
+
+import pytest
+
+from repro.hardware import ComputeAccelerator
+from repro.linalg.trace import Op, OpKind
+
+
+@pytest.fixture
+def comp():
+    return ComputeAccelerator()
+
+
+class TestTiledGemm:
+    def test_scales_with_output_tiles(self, comp):
+        small = comp.op_cycles_detailed(Op(OpKind.GEMM, (4, 4, 16)))
+        large = comp.op_cycles_detailed(Op(OpKind.GEMM, (16, 16, 16)))
+        # 16x more output tiles -> roughly 16x the pass time.
+        assert 8.0 < (large - comp.rocc_overhead) / \
+            (small - comp.rocc_overhead) < 20.0
+
+    def test_scales_with_k(self, comp):
+        shallow = comp.op_cycles_detailed(Op(OpKind.GEMM, (8, 8, 8)))
+        deep = comp.op_cycles_detailed(Op(OpKind.GEMM, (8, 8, 64)))
+        assert deep > 2.0 * shallow
+
+    def test_scratchpad_spill_penalty(self):
+        big_spad = ComputeAccelerator(scratchpad_bytes=1 << 20)
+        tiny_spad = ComputeAccelerator(scratchpad_bytes=256)
+        op = Op(OpKind.GEMM, (16, 16, 256))
+        assert tiny_spad.op_cycles_detailed(op) > \
+            2.0 * big_spad.op_cycles_detailed(op)
+
+    def test_agrees_with_analytic_model_midsize(self, comp):
+        # The default analytic model and the tiled model must agree
+        # within ~3x on the op sizes the solver actually produces.
+        for dims in ((12, 12, 6), (24, 24, 24), (48, 24, 24)):
+            op = Op(OpKind.GEMM, dims)
+            ratio = comp.op_cycles_detailed(op) / comp.op_cycles(op)
+            assert 1.0 / 3.0 < ratio < 3.0, (dims, ratio)
+
+
+class TestTiledTriangular:
+    def test_syrk_cheaper_than_full_gemm(self, comp):
+        syrk = comp.op_cycles_detailed(Op(OpKind.SYRK, (32, 16)))
+        gemm = comp.op_cycles_detailed(Op(OpKind.GEMM, (32, 32, 16)))
+        assert syrk < gemm
+
+    def test_potrf_scales_superlinearly(self, comp):
+        small = comp.op_cycles_detailed(Op(OpKind.POTRF, (8,)))
+        large = comp.op_cycles_detailed(Op(OpKind.POTRF, (32,)))
+        assert large > 4.0 * small
+
+    def test_trsm_scales_with_rows(self, comp):
+        few = comp.op_cycles_detailed(Op(OpKind.TRSM, (8, 16)))
+        many = comp.op_cycles_detailed(Op(OpKind.TRSM, (64, 16)))
+        assert many > 3.0 * few
+
+    def test_vector_kernels(self, comp):
+        trsv = comp.op_cycles_detailed(Op(OpKind.TRSV, (16,)))
+        assert trsv > comp.rocc_overhead
+
+    def test_scatter_falls_back_to_analytic(self, comp):
+        op = Op(OpKind.SCATTER_ADD, (12, 12))
+        assert comp.op_cycles_detailed(op) == comp.op_cycles(op)

@@ -1,0 +1,110 @@
+"""Smoke tests of the experiment harness layer at tiny scales.
+
+The benchmarks exercise these harnesses at the default scales; here they
+run at a fraction of that so the test suite validates the experiment
+plumbing (caching, pricing, normalization, table rendering) quickly.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_scale():
+    """Shrink every dataset and clear the harness caches for isolation."""
+    import os
+
+    from repro.experiments import common
+    from repro.experiments import accuracy
+
+    old = os.environ.get("REPRO_SCALE")
+    os.environ["REPRO_SCALE"] = "0.25"
+    for cache in (common.dataset, common.reference_trajectory,
+                  common.isam2_run, common.ra_run,
+                  accuracy.local_run, accuracy.local_global_run):
+        cache.cache_clear()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_SCALE", None)
+    else:
+        os.environ["REPRO_SCALE"] = old
+    for cache in (common.dataset, common.reference_trajectory,
+                  common.isam2_run, common.ra_run,
+                  accuracy.local_run, accuracy.local_global_run):
+        cache.cache_clear()
+
+
+class TestLatencyHarness:
+    def test_figure8_single_dataset(self):
+        from repro.experiments.latency import (
+            figure8, figure8_table, normalize_to)
+        results = figure8(datasets=("M3500",))
+        norm = normalize_to(results)["M3500"]
+        assert norm["BOOM"]["total"] == pytest.approx(1.0)
+        assert norm["SuperNoVA"]["numeric"] < 1.0
+        table = figure8_table(results)
+        assert "SuperNoVA" in table and "BOOM" in table
+
+    def test_figure9_normalizes(self):
+        from repro.experiments.latency import figure9, figure9_table
+        results = figure9(datasets=("M3500",))
+        assert set(results["M3500"]) == {
+            "no parallelism", "+hetero overlap", "+inter-node",
+            "+intra-node"}
+        assert "M3500" in figure9_table(results)
+
+
+class TestRealtimeHarness:
+    def test_figure10_entries(self):
+        from repro.experiments.realtime import figure10
+        results = figure10(datasets=("M3500",), set_counts=(1,))
+        entry = results["M3500"]
+        assert set(entry) == {"In1S", "RA1S"}
+        assert entry["RA1S"].miss_rate == 0.0
+
+    def test_figure11_breakdowns_sum(self):
+        from repro.experiments.realtime import figure11
+        results = figure11(datasets=("M3500",), set_counts=(2,))
+        means = results["M3500"]["RA2S"]
+        parts = (means["relinearization"] + means["symbolic"]
+                 + means["numeric"] + means["overhead"])
+        assert parts == pytest.approx(means["total"], rel=1e-9)
+
+
+class TestAccuracyHarness:
+    def test_table4_orderings_hold_at_tiny_scale(self):
+        from repro.experiments.accuracy import table4
+        results = table4(datasets=("M3500",))["M3500"]
+        assert results["Local"]["irmse"] > results["In"]["irmse"]
+        assert results["RA2S"]["irmse"] < results["Local"]["irmse"]
+
+    def test_figure12_series_lengths(self):
+        from repro.experiments.accuracy import figure12, figure12_summary
+        series = figure12("M3500", methods=("Local", "In"))
+        local_max, local_rmse = series["Local"]
+        assert len(local_max) == len(local_rmse) > 0
+        summary = figure12_summary(series)
+        assert "per-step RMSE" in summary
+
+
+class TestSparkline:
+    def test_empty(self):
+        from repro.experiments.common import sparkline
+        assert sparkline([]) == "(empty)"
+
+    def test_constant_series(self):
+        from repro.experiments.common import sparkline
+        line = sparkline([1.0] * 100, width=10)
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_glyphs(self):
+        from repro.experiments.common import sparkline
+        glyphs = " .:-=+*#%"
+        line = sparkline([10.0 ** i for i in range(9)], width=9)
+        levels = [glyphs.index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_shared_bounds_comparable(self):
+        from repro.experiments.common import sparkline
+        low = sparkline([1.0] * 10, bounds=(1.0, 100.0))
+        high = sparkline([100.0] * 10, bounds=(1.0, 100.0))
+        assert low != high

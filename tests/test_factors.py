@@ -1,0 +1,214 @@
+"""Tests for noise models, values, factors, and the factor graph."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import (
+    BetweenFactorSE2,
+    BetweenFactorSE3,
+    DiagonalNoise,
+    FactorGraph,
+    GaussianNoise,
+    IsotropicNoise,
+    PriorFactorSE2,
+    PriorFactorSE3,
+    Values,
+)
+from repro.factorgraph.factors import numerical_jacobians
+from repro.geometry import SE2, SE3, SO3
+
+
+def se2_values():
+    values = Values()
+    values.insert(0, SE2(0.1, -0.2, 0.3))
+    values.insert(1, SE2(1.2, 0.4, -0.5))
+    return values
+
+
+def se3_values():
+    rng = np.random.default_rng(11)
+    values = Values()
+    values.insert(0, SE3.exp(rng.normal(scale=0.4, size=6)))
+    values.insert(1, SE3.exp(rng.normal(scale=0.4, size=6)))
+    return values
+
+
+class TestNoiseModels:
+    def test_isotropic_whiten(self):
+        noise = IsotropicNoise(3, 0.5)
+        np.testing.assert_allclose(noise.whiten(np.ones(3)), 2.0 * np.ones(3))
+
+    def test_diagonal_whiten_jacobian(self):
+        noise = DiagonalNoise([1.0, 2.0])
+        jac = np.array([[2.0, 0.0], [0.0, 4.0]])
+        np.testing.assert_allclose(noise.whiten_jacobian(jac),
+                                   [[2.0, 0.0], [0.0, 2.0]])
+
+    def test_gaussian_mahalanobis(self):
+        cov = np.array([[2.0, 0.5], [0.5, 1.0]])
+        noise = GaussianNoise(cov)
+        r = np.array([1.0, -1.0])
+        expected = r @ np.linalg.inv(cov) @ r
+        assert noise.mahalanobis(r) == pytest.approx(expected)
+
+    def test_diagonal_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DiagonalNoise([1.0, 0.0])
+
+    def test_gaussian_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(np.ones((2, 3)))
+
+
+class TestValues:
+    def test_insert_duplicate_raises(self):
+        values = se2_values()
+        with pytest.raises(KeyError):
+            values.insert(0, SE2())
+
+    def test_update_missing_raises(self):
+        values = se2_values()
+        with pytest.raises(KeyError):
+            values.update(9, SE2())
+
+    def test_dim(self):
+        assert se2_values().dim() == 6
+        assert se3_values().dim() == 12
+
+    def test_retract_is_copy(self):
+        values = se2_values()
+        moved = values.retract({0: np.array([0.1, 0.0, 0.0])})
+        assert moved.at(0).x != values.at(0).x
+        assert moved.at(1) is values.at(1)
+
+    def test_local_inverts_retract(self):
+        values = se2_values()
+        delta = {0: np.array([0.05, -0.02, 0.01])}
+        moved = values.retract(delta)
+        recovered = values.local(moved)
+        np.testing.assert_allclose(recovered[0], delta[0], atol=1e-9)
+        np.testing.assert_allclose(recovered[1], np.zeros(3), atol=1e-12)
+
+
+class TestFactorResiduals:
+    def test_prior_se2_zero_at_prior(self):
+        prior = SE2(1.0, 2.0, 0.3)
+        values = Values()
+        values.insert(0, prior)
+        factor = PriorFactorSE2(0, prior, IsotropicNoise(3, 0.1))
+        np.testing.assert_allclose(factor.error_vector(values),
+                                   np.zeros(3), atol=1e-12)
+
+    def test_between_se2_zero_at_measurement(self):
+        values = se2_values()
+        measured = values.at(0).between(values.at(1))
+        factor = BetweenFactorSE2(0, 1, measured, IsotropicNoise(3, 0.1))
+        np.testing.assert_allclose(factor.error_vector(values),
+                                   np.zeros(3), atol=1e-12)
+        assert factor.error(values) == pytest.approx(0.0, abs=1e-20)
+
+    def test_between_se3_zero_at_measurement(self):
+        values = se3_values()
+        measured = values.at(0).between(values.at(1))
+        factor = BetweenFactorSE3(0, 1, measured, IsotropicNoise(6, 0.1))
+        np.testing.assert_allclose(factor.error_vector(values),
+                                   np.zeros(6), atol=1e-10)
+
+    def test_error_is_squared_whitened_norm(self):
+        values = se2_values()
+        factor = BetweenFactorSE2(0, 1, SE2(1.0, 0.0, 0.0),
+                                  IsotropicNoise(3, 0.5))
+        white = factor.whitened_error(values)
+        assert factor.error(values) == pytest.approx(float(white @ white))
+
+
+class TestAnalyticJacobians:
+    """Analytic Jacobians must match central differences."""
+
+    def assert_matches_numeric(self, factor, values, tol=1e-5):
+        analytic = factor.jacobians(values)
+        numeric = numerical_jacobians(factor, values)
+        for a, n in zip(analytic, numeric):
+            np.testing.assert_allclose(a, n, atol=tol)
+
+    def test_prior_se2(self):
+        factor = PriorFactorSE2(0, SE2(0.5, -1.0, 0.7), IsotropicNoise(3, 1.0))
+        self.assert_matches_numeric(factor, se2_values())
+
+    def test_between_se2(self):
+        factor = BetweenFactorSE2(0, 1, SE2(1.0, 0.2, -0.4),
+                                  IsotropicNoise(3, 1.0))
+        self.assert_matches_numeric(factor, se2_values())
+
+    def test_prior_se3(self):
+        prior = SE3(SO3.from_rpy(0.1, -0.2, 0.5), np.array([1.0, 0.0, -1.0]))
+        factor = PriorFactorSE3(0, prior, IsotropicNoise(6, 1.0))
+        self.assert_matches_numeric(factor, se3_values())
+
+    def test_between_se3(self):
+        rng = np.random.default_rng(13)
+        measured = SE3.exp(rng.normal(scale=0.3, size=6))
+        factor = BetweenFactorSE3(0, 1, measured, IsotropicNoise(6, 1.0))
+        self.assert_matches_numeric(factor, se3_values())
+
+    def test_linearize_whitens(self):
+        values = se2_values()
+        factor = BetweenFactorSE2(0, 1, SE2(1.0, 0.0, 0.0),
+                                  IsotropicNoise(3, 0.5))
+        blocks, rhs = factor.linearize(values)
+        raw = factor.jacobians(values)
+        np.testing.assert_allclose(blocks[0], raw[0] / 0.5)
+        np.testing.assert_allclose(rhs, -factor.whitened_error(values))
+
+
+class TestFactorGraph:
+    def build(self):
+        graph = FactorGraph()
+        noise = IsotropicNoise(3, 0.1)
+        graph.add(PriorFactorSE2(0, SE2(), noise))
+        graph.add(BetweenFactorSE2(0, 1, SE2(1.0, 0.0, 0.0), noise))
+        graph.add(BetweenFactorSE2(1, 2, SE2(1.0, 0.0, 0.0), noise))
+        return graph
+
+    def test_len_and_keys(self):
+        graph = self.build()
+        assert len(graph) == 3
+        assert graph.keys() == {0, 1, 2}
+
+    def test_factors_of(self):
+        graph = self.build()
+        assert graph.factors_of(1) == {1, 2}
+        assert graph.factors_of(99) == set()
+
+    def test_neighbors(self):
+        graph = self.build()
+        assert graph.neighbors(1) == {0, 2}
+        assert graph.neighbors(0) == {1}
+
+    def test_remove(self):
+        graph = self.build()
+        graph.remove(1)
+        assert len(graph) == 2
+        assert graph.factors_of(1) == {2}
+        with pytest.raises(KeyError):
+            graph.remove(1)
+        with pytest.raises(KeyError):
+            graph.factor(1)
+
+    def test_remove_drops_orphan_keys(self):
+        graph = self.build()
+        graph.remove(2)
+        assert 2 not in graph.keys()
+
+    def test_error_sums_factors(self):
+        graph = self.build()
+        values = Values()
+        values.insert(0, SE2())
+        values.insert(1, SE2(1.1, 0.0, 0.0))
+        values.insert(2, SE2(2.0, 0.1, 0.0))
+        total = sum(f.error(values) for f in graph.factors())
+        assert graph.error(values) == pytest.approx(total)
+
+    def test_keys_of(self):
+        graph = self.build()
+        assert graph.keys_of([0, 2]) == {0, 1, 2}

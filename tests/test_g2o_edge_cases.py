@@ -1,0 +1,106 @@
+"""Edge cases for g2o I/O and pose-graph containers."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import read_g2o, write_g2o
+from repro.datasets.pose_graph import PoseGraphDataset, TimeStep
+from repro.factorgraph import (
+    BetweenFactorSE2,
+    IsotropicNoise,
+    PriorFactorSE2,
+    Values,
+)
+from repro.geometry import SE2
+
+
+class TestG2OEdgeCases:
+    def test_empty_file(self, tmp_path):
+        path = os.path.join(tmp_path, "empty.g2o")
+        open(path, "w").close()
+        values, factors = read_g2o(path)
+        assert len(values) == 0
+        assert factors == []
+
+    def test_blank_and_unknown_lines_skipped(self, tmp_path):
+        path = os.path.join(tmp_path, "odd.g2o")
+        with open(path, "w") as handle:
+            handle.write("\n")
+            handle.write("FIX 0\n")  # common g2o directive, unsupported
+            handle.write("VERTEX_SE2 0 1.0 2.0 0.5\n")
+            handle.write("  \n")
+        values, factors = read_g2o(path)
+        assert len(values) == 1
+        assert values.at(0).is_close(SE2(1.0, 2.0, 0.5), tol=1e-9)
+
+    def test_priors_not_serialized(self, tmp_path):
+        values = Values()
+        values.insert(0, SE2())
+        values.insert(1, SE2(1.0, 0.0, 0.0))
+        noise = IsotropicNoise(3, 0.1)
+        factors = [PriorFactorSE2(0, SE2(), noise),
+                   BetweenFactorSE2(0, 1, SE2(1.0, 0.0, 0.0), noise)]
+        path = os.path.join(tmp_path, "p.g2o")
+        write_g2o(path, values, factors)
+        _, loaded = read_g2o(path)
+        assert len(loaded) == 1  # only the edge survives
+
+    def test_information_matrix_roundtrip_full(self, tmp_path):
+        from repro.factorgraph import GaussianNoise
+        cov = np.array([[0.04, 0.01, 0.0],
+                        [0.01, 0.09, 0.002],
+                        [0.0, 0.002, 0.01]])
+        noise = GaussianNoise(cov)
+        values = Values()
+        values.insert(0, SE2())
+        values.insert(1, SE2(1.0, 0.0, 0.0))
+        factors = [BetweenFactorSE2(0, 1, SE2(1.0, 0.0, 0.0), noise)]
+        path = os.path.join(tmp_path, "info.g2o")
+        write_g2o(path, values, factors)
+        _, loaded = read_g2o(path)
+        np.testing.assert_allclose(loaded[0].noise.covariance, cov,
+                                   atol=1e-8)
+
+    def test_unsupported_vertex_type_raises_on_write(self, tmp_path):
+        from repro.geometry import Point2
+        values = Values()
+        values.insert(0, Point2(1.0, 2.0))
+        with pytest.raises(TypeError):
+            write_g2o(os.path.join(tmp_path, "x.g2o"), values, [])
+
+
+class TestTimeStep:
+    def test_closures_excludes_odometry(self):
+        noise = IsotropicNoise(3, 0.1)
+        step = TimeStep(key=5, guess=SE2(), factors=[
+            BetweenFactorSE2(4, 5, SE2(), noise),
+            BetweenFactorSE2(0, 5, SE2(), noise),
+            PriorFactorSE2(5, SE2(), noise),
+        ])
+        closures = step.closures
+        assert len(closures) == 1
+        assert closures[0].keys == (0, 5)
+
+
+class TestPoseGraphDataset:
+    def make(self):
+        noise = IsotropicNoise(3, 0.1)
+        steps = [TimeStep(key=i, guess=SE2(float(i), 0, 0),
+                          factors=[PriorFactorSE2(i, SE2(), noise)])
+                 for i in range(5)]
+        truth = {i: SE2(float(i), 0, 0) for i in range(5)}
+        return PoseGraphDataset("mini", steps, truth, is_3d=False)
+
+    def test_counts(self):
+        data = self.make()
+        assert data.num_steps == 5
+        assert data.num_edges == 5
+        assert data.num_closures == 0
+
+    def test_truncation_preserves_structure(self):
+        data = self.make().truncated(3)
+        assert data.num_steps == 3
+        assert set(data.ground_truth) == {0, 1, 2}
+        assert data.name == "mini"

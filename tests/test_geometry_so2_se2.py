@@ -1,0 +1,132 @@
+"""Unit and property tests for SO(2)/SE(2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import SE2, SO2
+from repro.geometry.so2 import wrap_angle
+
+angles = st.floats(min_value=-10.0, max_value=10.0,
+                   allow_nan=False, allow_infinity=False)
+coords = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+small = st.floats(min_value=-1.0, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+class TestWrapAngle:
+    def test_zero(self):
+        assert wrap_angle(0.0) == 0.0
+
+    def test_pi_maps_to_pi(self):
+        assert wrap_angle(math.pi) == pytest.approx(math.pi)
+
+    def test_minus_pi_maps_to_pi(self):
+        assert abs(wrap_angle(-math.pi)) == pytest.approx(math.pi)
+
+    @given(angles)
+    def test_range(self, theta):
+        wrapped = wrap_angle(theta)
+        assert -math.pi < wrapped <= math.pi + 1e-12
+
+    @given(angles)
+    def test_equivalent_rotation(self, theta):
+        assert math.cos(wrap_angle(theta)) == pytest.approx(
+            math.cos(theta), abs=1e-9)
+        assert math.sin(wrap_angle(theta)) == pytest.approx(
+            math.sin(theta), abs=1e-9)
+
+
+class TestSO2:
+    def test_identity(self):
+        assert SO2.identity().theta == 0.0
+
+    def test_matrix_orthonormal(self):
+        rot = SO2(0.7)
+        mat = rot.matrix()
+        np.testing.assert_allclose(mat @ mat.T, np.eye(2), atol=1e-12)
+
+    def test_compose_inverse(self):
+        rot = SO2(1.2)
+        assert rot.compose(rot.inverse()).is_close(SO2.identity())
+
+    def test_rotate_point(self):
+        point = SO2(math.pi / 2.0) * np.array([1.0, 0.0])
+        np.testing.assert_allclose(point, [0.0, 1.0], atol=1e-12)
+
+    @given(angles, angles)
+    def test_between_roundtrip(self, a, b):
+        ra, rb = SO2(a), SO2(b)
+        assert ra.compose(ra.between(rb)).is_close(rb, tol=1e-9)
+
+    @given(angles)
+    def test_exp_log_roundtrip(self, theta):
+        rot = SO2(theta)
+        assert SO2.exp(rot.log()).is_close(rot, tol=1e-9)
+
+    @given(angles, small)
+    def test_retract_local_roundtrip(self, theta, omega):
+        rot = SO2(theta)
+        retracted = rot.retract(omega)
+        assert rot.local(retracted) == pytest.approx(omega, abs=1e-9)
+
+
+class TestSE2:
+    def test_identity(self):
+        ident = SE2.identity()
+        np.testing.assert_allclose(ident.matrix(), np.eye(3))
+
+    def test_compose_matches_matrix_product(self):
+        a = SE2(1.0, 2.0, 0.3)
+        b = SE2(-0.5, 0.7, -1.1)
+        np.testing.assert_allclose(
+            a.compose(b).matrix(), a.matrix() @ b.matrix(), atol=1e-12)
+
+    def test_inverse_matches_matrix_inverse(self):
+        pose = SE2(1.0, -2.0, 0.9)
+        np.testing.assert_allclose(
+            pose.inverse().matrix(), np.linalg.inv(pose.matrix()), atol=1e-12)
+
+    def test_transform_point(self):
+        pose = SE2(1.0, 0.0, math.pi / 2.0)
+        np.testing.assert_allclose(pose * np.array([1.0, 0.0]),
+                                   [1.0, 1.0], atol=1e-12)
+
+    @given(coords, coords, angles, coords, coords, angles)
+    @settings(max_examples=50)
+    def test_between_roundtrip(self, x1, y1, t1, x2, y2, t2):
+        a = SE2(x1, y1, t1)
+        b = SE2(x2, y2, t2)
+        assert a.compose(a.between(b)).is_close(b, tol=1e-6)
+
+    @given(coords, coords, angles)
+    @settings(max_examples=50)
+    def test_exp_log_roundtrip(self, x, y, theta):
+        pose = SE2(x, y, theta)
+        assert SE2.exp(pose.log()).is_close(pose, tol=1e-6)
+
+    @given(coords, coords, angles, small, small, small)
+    @settings(max_examples=50)
+    def test_retract_local_roundtrip(self, x, y, theta, dx, dy, dtheta):
+        pose = SE2(x, y, theta)
+        delta = np.array([dx, dy, dtheta])
+        recovered = pose.local(pose.retract(delta))
+        np.testing.assert_allclose(recovered, delta, atol=1e-6)
+
+    def test_adjoint_definition(self):
+        # Ad_T maps right perturbations to left: T exp(v) = exp(Ad_T v) T.
+        pose = SE2(1.5, -0.5, 0.8)
+        delta = np.array([0.01, -0.02, 0.03])
+        lhs = pose.compose(SE2.exp(delta))
+        rhs = SE2.exp(pose.adjoint() @ delta).compose(pose)
+        assert lhs.is_close(rhs, tol=1e-5)
+
+    def test_exp_small_angle_consistent(self):
+        # omega below and above the series switch should agree closely.
+        a = SE2.exp([0.1, 0.2, 1e-11])
+        b = SE2.exp([0.1, 0.2, 1e-9])
+        assert a.is_close(b, tol=1e-8)

@@ -1,0 +1,179 @@
+"""Unit and property tests for SO(3)/SE(3) and the Lie Jacobians."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import SE3, SO3
+from repro.geometry.jacobians import (
+    se3_left_jacobian,
+    se3_left_jacobian_inverse,
+    se3_right_jacobian,
+    se3_right_jacobian_inverse,
+    so3_left_jacobian,
+    so3_left_jacobian_inverse,
+)
+from repro.geometry.so3 import skew, unskew
+
+unit = st.floats(min_value=-1.0, max_value=1.0,
+                 allow_nan=False, allow_infinity=False)
+vec3 = st.tuples(unit, unit, unit).map(np.array)
+coords = st.floats(min_value=-10.0, max_value=10.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def random_so3(rng):
+    return SO3.exp(rng.normal(scale=1.0, size=3))
+
+
+class TestSkew:
+    @given(vec3, vec3)
+    def test_skew_is_cross_product(self, a, b):
+        np.testing.assert_allclose(skew(a) @ b, np.cross(a, b), atol=1e-12)
+
+    @given(vec3)
+    def test_unskew_roundtrip(self, v):
+        np.testing.assert_allclose(unskew(skew(v)), v, atol=1e-12)
+
+
+class TestSO3:
+    def test_identity(self):
+        np.testing.assert_allclose(SO3.identity().matrix(), np.eye(3))
+
+    @given(vec3)
+    @settings(max_examples=50)
+    def test_exp_gives_rotation_matrix(self, omega):
+        mat = SO3.exp(omega).matrix()
+        np.testing.assert_allclose(mat @ mat.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(mat) == pytest.approx(1.0, abs=1e-9)
+
+    @given(vec3)
+    @settings(max_examples=50)
+    def test_exp_log_roundtrip(self, omega):
+        np.testing.assert_allclose(SO3.exp(omega).log(), omega, atol=1e-7)
+
+    def test_log_near_pi(self):
+        omega = np.array([math.pi - 1e-4, 0.0, 0.0])
+        recovered = SO3.exp(omega).log()
+        np.testing.assert_allclose(recovered, omega, atol=1e-5)
+
+    def test_log_at_pi_recovers_axis(self):
+        omega = math.pi * np.array([0.0, 0.6, 0.8])
+        recovered = SO3.exp(omega).log()
+        # Axis sign at exactly pi is ambiguous; compare rotations instead.
+        assert SO3.exp(recovered).is_close(SO3.exp(omega), tol=1e-6)
+
+    def test_compose_inverse(self):
+        rng = np.random.default_rng(0)
+        rot = random_so3(rng)
+        assert rot.compose(rot.inverse()).is_close(SO3.identity(), tol=1e-12)
+
+    @given(vec3, vec3)
+    @settings(max_examples=30)
+    def test_retract_local_roundtrip(self, omega, delta):
+        rot = SO3.exp(omega)
+        np.testing.assert_allclose(rot.local(rot.retract(delta)),
+                                   delta, atol=1e-6)
+
+    def test_from_rpy_yaw_only(self):
+        rot = SO3.from_rpy(0.0, 0.0, math.pi / 2.0)
+        np.testing.assert_allclose(rot * np.array([1.0, 0.0, 0.0]),
+                                   [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_renormalize_projects_to_so3(self):
+        rng = np.random.default_rng(1)
+        noisy = SO3(random_so3(rng).matrix() + 1e-4 * rng.normal(size=(3, 3)))
+        clean = noisy.renormalize()
+        np.testing.assert_allclose(clean.matrix() @ clean.matrix().T,
+                                   np.eye(3), atol=1e-12)
+
+
+class TestSE3:
+    @given(vec3, vec3)
+    @settings(max_examples=50)
+    def test_exp_log_roundtrip(self, rho, omega):
+        xi = np.concatenate([rho, omega])
+        np.testing.assert_allclose(SE3.exp(xi).log(), xi, atol=1e-6)
+
+    def test_compose_matches_matrix_product(self):
+        rng = np.random.default_rng(2)
+        a = SE3.exp(rng.normal(scale=0.5, size=6))
+        b = SE3.exp(rng.normal(scale=0.5, size=6))
+        np.testing.assert_allclose(a.compose(b).matrix(),
+                                   a.matrix() @ b.matrix(), atol=1e-12)
+
+    def test_inverse_matches_matrix_inverse(self):
+        rng = np.random.default_rng(3)
+        pose = SE3.exp(rng.normal(scale=0.5, size=6))
+        np.testing.assert_allclose(pose.inverse().matrix(),
+                                   np.linalg.inv(pose.matrix()), atol=1e-10)
+
+    @given(vec3, vec3)
+    @settings(max_examples=30)
+    def test_retract_local_roundtrip(self, xi_rho, delta_rho):
+        pose = SE3.exp(np.concatenate([xi_rho, 0.3 * delta_rho]))
+        delta = np.concatenate([delta_rho, 0.1 * xi_rho])
+        np.testing.assert_allclose(pose.local(pose.retract(delta)),
+                                   delta, atol=1e-6)
+
+    def test_adjoint_definition(self):
+        rng = np.random.default_rng(4)
+        pose = SE3.exp(rng.normal(scale=0.5, size=6))
+        delta = 0.01 * rng.normal(size=6)
+        lhs = pose.compose(SE3.exp(delta))
+        rhs = SE3.exp(pose.adjoint() @ delta).compose(pose)
+        assert lhs.is_close(rhs, tol=1e-5)
+
+
+class TestLieJacobians:
+    @given(vec3)
+    @settings(max_examples=30)
+    def test_so3_left_jacobian_inverse(self, omega):
+        jac = so3_left_jacobian(omega)
+        jac_inv = so3_left_jacobian_inverse(omega)
+        np.testing.assert_allclose(jac @ jac_inv, np.eye(3), atol=1e-8)
+
+    @given(vec3, vec3)
+    @settings(max_examples=30)
+    def test_se3_left_jacobian_inverse(self, rho, omega):
+        xi = np.concatenate([rho, omega])
+        jac = se3_left_jacobian(xi)
+        jac_inv = se3_left_jacobian_inverse(xi)
+        np.testing.assert_allclose(jac @ jac_inv, np.eye(6), atol=1e-8)
+
+    def test_se3_left_jacobian_numeric(self):
+        # Jl satisfies exp(xi + d) ~= exp(Jl(xi) d) exp(xi).
+        rng = np.random.default_rng(5)
+        xi = rng.normal(scale=0.7, size=6)
+        jac = se3_left_jacobian(xi)
+        eps = 1e-6
+        numeric = np.zeros((6, 6))
+        for axis in range(6):
+            step = np.zeros(6)
+            step[axis] = eps
+            diff = SE3.exp(xi + step).compose(SE3.exp(xi).inverse())
+            numeric[:, axis] = diff.log() / eps
+        np.testing.assert_allclose(jac, numeric, atol=1e-4)
+
+    def test_se3_right_jacobian_numeric(self):
+        # Jr satisfies exp(xi + d) ~= exp(xi) exp(Jr(xi) d).
+        rng = np.random.default_rng(6)
+        xi = rng.normal(scale=0.7, size=6)
+        jac = se3_right_jacobian(xi)
+        eps = 1e-6
+        numeric = np.zeros((6, 6))
+        for axis in range(6):
+            step = np.zeros(6)
+            step[axis] = eps
+            diff = SE3.exp(xi).inverse().compose(SE3.exp(xi + step))
+            numeric[:, axis] = diff.log() / eps
+        np.testing.assert_allclose(jac, numeric, atol=1e-4)
+
+    def test_right_jacobian_inverse_consistency(self):
+        rng = np.random.default_rng(7)
+        xi = rng.normal(scale=0.5, size=6)
+        prod = se3_right_jacobian(xi) @ se3_right_jacobian_inverse(xi)
+        np.testing.assert_allclose(prod, np.eye(6), atol=1e-9)

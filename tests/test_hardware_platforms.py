@@ -1,0 +1,196 @@
+"""Tests for the platform cycle models, area and power tables."""
+
+import pytest
+
+from repro.hardware import (
+    AREA_TABLE,
+    ComputeAccelerator,
+    MemoryAccelerator,
+    PowerModel,
+    area_summary,
+    boom_cpu,
+    embedded_gpu,
+    mobile_cpu,
+    mobile_dsp,
+    server_cpu,
+    spatula_soc,
+    supernova_soc,
+)
+from repro.hardware.power import SUPERNOVA_PEAK_W
+from repro.linalg.trace import Op, OpKind
+
+GEMM_BIG = Op(OpKind.GEMM, (64, 64, 64))
+GEMM_TINY = Op(OpKind.GEMM, (3, 3, 3))
+MEMCPY = Op(OpKind.MEMCPY, (4096,))
+SCATTER = Op(OpKind.SCATTER_ADD, (12, 12))
+
+
+class TestCpuModels:
+    def test_server_faster_than_boom_on_big_gemm(self):
+        boom = boom_cpu()
+        server = server_cpu()
+        t_boom = boom.seconds(boom.host.op_cycles(GEMM_BIG))
+        t_server = server.seconds(server.host.op_cycles(GEMM_BIG))
+        assert t_server < t_boom / 5
+
+    def test_dsp_beats_mobile_cpu_on_big_gemm(self):
+        dsp = mobile_dsp()
+        cpu = mobile_cpu()
+        assert dsp.host.op_cycles(GEMM_BIG) < cpu.host.op_cycles(GEMM_BIG)
+
+    def test_small_matrix_penalty(self):
+        host = server_cpu().host
+        # Effective throughput on a tiny GEMM is far below peak.
+        cycles = host.op_cycles(GEMM_TINY)
+        ideal = GEMM_TINY.flops / host.flops_per_cycle
+        assert cycles > 3 * ideal
+
+    def test_relin_and_symbolic_rates(self):
+        host = boom_cpu().host
+        assert host.relin_cycles(10) == 10 * host.relin_cycles_per_factor
+        assert host.symbolic_cycles(4) == \
+            4 * host.symbolic_cycles_per_column
+
+
+class TestGpuModel:
+    def test_launch_overhead_dominates_small_ops(self):
+        gpu = embedded_gpu().host
+        cycles = gpu.op_cycles(GEMM_TINY)
+        assert cycles >= gpu.kernel_launch_cycles
+
+    def test_gpu_wins_big_loses_small_vs_dsp(self):
+        gpu = embedded_gpu()
+        dsp = mobile_dsp()
+        huge = Op(OpKind.GEMM, (256, 256, 256))
+        t_gpu_big = gpu.seconds(gpu.host.op_cycles(huge))
+        t_dsp_big = dsp.seconds(dsp.host.op_cycles(huge))
+        assert t_gpu_big < t_dsp_big
+        t_gpu_small = gpu.seconds(gpu.host.op_cycles(GEMM_TINY))
+        t_dsp_small = dsp.seconds(dsp.host.op_cycles(GEMM_TINY))
+        assert t_gpu_small > t_dsp_small
+
+
+class TestComputeAccelerator:
+    def test_gemm_cycles_scale_with_flops(self):
+        comp = ComputeAccelerator()
+        small = comp.op_cycles(Op(OpKind.GEMM, (8, 8, 8)))
+        large = comp.op_cycles(Op(OpKind.GEMM, (32, 32, 32)))
+        assert large > 8 * small * 0.5
+
+    def test_rejects_memory_ops(self):
+        comp = ComputeAccelerator()
+        with pytest.raises(ValueError):
+            comp.op_cycles(MEMCPY)
+        assert not comp.supports(MEMCPY)
+
+    def test_siu_scatter(self):
+        with_siu = ComputeAccelerator(has_siu=True)
+        assert with_siu.supports(SCATTER)
+        cycles = with_siu.op_cycles(SCATTER)
+        assert cycles < 12 * 12  # far better than 1 elem/cycle
+
+    def test_no_siu_rejects_scatter(self):
+        without = ComputeAccelerator(has_siu=False)
+        assert not without.supports(SCATTER)
+        with pytest.raises(ValueError):
+            without.op_cycles(SCATTER)
+
+    def test_triangular_less_efficient_than_gemm(self):
+        comp = ComputeAccelerator()
+        gemm = Op(OpKind.GEMM, (16, 16, 16))
+        potrf = Op(OpKind.POTRF, (16,))
+        # cycles per flop must be worse for POTRF.
+        assert (comp.op_cycles(potrf) / potrf.flops
+                > comp.op_cycles(gemm) / gemm.flops)
+
+
+class TestMemoryAccelerator:
+    def test_bandwidth_model(self):
+        mem = MemoryAccelerator(bytes_per_cycle=32.0, setup_overhead=20.0)
+        assert mem.op_cycles(Op(OpKind.MEMSET, (3200,))) == \
+            pytest.approx(20.0 + 100.0)
+
+    def test_rejects_compute(self):
+        mem = MemoryAccelerator()
+        with pytest.raises(ValueError):
+            mem.op_cycles(GEMM_BIG)
+
+    def test_mem_beats_host_cpu_on_memcpy(self):
+        soc = supernova_soc()
+        assert soc.mem.op_cycles(MEMCPY) < soc.host.op_cycles(MEMCPY)
+
+
+class TestSoCConfigs:
+    def test_supernova_has_both_accels(self):
+        soc = supernova_soc(2)
+        assert soc.has_accelerators
+        assert soc.offloads_memory_ops
+        assert soc.accel_sets == 2
+
+    def test_spatula_no_mem_no_siu(self):
+        soc = spatula_soc(2)
+        assert soc.has_accelerators
+        assert not soc.offloads_memory_ops
+        assert not soc.comp.has_siu
+
+    def test_baselines_have_no_accels(self):
+        for factory in (boom_cpu, mobile_cpu, mobile_dsp, server_cpu,
+                        embedded_gpu):
+            assert not factory().has_accelerators
+
+    def test_seconds_conversion(self):
+        soc = supernova_soc()
+        assert soc.seconds(1.0e9) == pytest.approx(1.0)
+
+
+class TestArea:
+    def test_table_matches_paper(self):
+        assert AREA_TABLE["boom_baseline"] == 1_262_000.0
+        assert AREA_TABLE["comp_tile"] == 301_000.0
+        assert AREA_TABLE["mem_tile"] == 51_000.0
+
+    def test_one_set_is_40_percent_of_boom(self):
+        summary = area_summary(accel_sets=1, cpu_tiles=1)
+        assert summary["fraction_of_boom"] == pytest.approx(0.40, abs=0.01)
+
+    def test_two_sets_two_cpus_is_80_percent(self):
+        summary = area_summary(accel_sets=2, cpu_tiles=2)
+        assert summary["fraction_of_boom"] == pytest.approx(0.80, abs=0.02)
+
+    def test_siu_is_small(self):
+        # The SIU adds ~3% of the COMP tile (paper Table 5).
+        ratio = (AREA_TABLE["comp_sparse_index_unit"]
+                 / AREA_TABLE["comp_tile"])
+        assert ratio == pytest.approx(0.03, abs=0.005)
+
+
+class TestPower:
+    def test_peak_is_syrk(self):
+        model = PowerModel()
+        assert model.peak_op_kind() is OpKind.SYRK
+        syrk = Op(OpKind.SYRK, (16, 16))
+        assert model.op_power(syrk) == pytest.approx(SUPERNOVA_PEAK_W)
+
+    def test_supernova_far_below_gpu_power(self):
+        from repro.hardware.power import EMBEDDED_GPU_RANGE_W, FPGA_RANGE_W
+        assert SUPERNOVA_PEAK_W < FPGA_RANGE_W[0] / 10
+        assert SUPERNOVA_PEAK_W < EMBEDDED_GPU_RANGE_W[0] / 40
+
+    def test_energy_scales_with_cycles(self):
+        model = PowerModel()
+        op = Op(OpKind.GEMM, (8, 8, 8))
+        assert model.op_energy(op, 2000.0) == \
+            pytest.approx(2.0 * model.op_energy(op, 1000.0))
+
+    def test_trace_energy_sums(self):
+        model = PowerModel()
+        pairs = [(Op(OpKind.GEMM, (8, 8, 8)), 100.0),
+                 (Op(OpKind.MEMSET, (256,)), 50.0)]
+        total = model.trace_energy(pairs)
+        assert total == pytest.approx(
+            sum(model.op_energy(op, c) for op, c in pairs))
+
+    def test_memory_ops_cheaper_than_compute(self):
+        model = PowerModel()
+        assert (model.op_power(Op(OpKind.MEMSET, (1024,)))
+                < model.op_power(Op(OpKind.GEMM, (8, 8, 8))))

@@ -1,0 +1,83 @@
+"""Unit tests for harness utilities that benchmarks rely on."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.design_space import (
+    _area_estimate,
+    design_space_table,
+    pareto_points,
+)
+from repro.experiments.scalability import scalability_table
+
+
+class TestParetoPoints:
+    def test_single_point_is_pareto(self):
+        results = {(4, 2): {"numeric_seconds": 1.0, "area_um2": 10.0}}
+        assert pareto_points(results) == [(4, 2)]
+
+    def test_dominated_point_excluded(self):
+        results = {
+            (2, 1): {"numeric_seconds": 2.0, "area_um2": 10.0},
+            (4, 1): {"numeric_seconds": 1.0, "area_um2": 5.0},  # dominates
+        }
+        assert pareto_points(results) == [(4, 1)]
+
+    def test_tradeoff_points_both_kept(self):
+        results = {
+            (2, 1): {"numeric_seconds": 2.0, "area_um2": 5.0},
+            (4, 1): {"numeric_seconds": 1.0, "area_um2": 10.0},
+        }
+        assert pareto_points(results) == [(2, 1), (4, 1)]
+
+    def test_area_estimate_scales_with_mesh(self):
+        assert _area_estimate(8, 1) > _area_estimate(4, 1)
+        assert _area_estimate(4, 2) == pytest.approx(
+            2 * _area_estimate(4, 1))
+
+    def test_design_space_table_renders(self):
+        results = {
+            (2, 1): {"numeric_seconds": 2.0, "area_um2": 5e5},
+            (4, 1): {"numeric_seconds": 1.0, "area_um2": 8e5},
+        }
+        table = design_space_table(results)
+        assert "2x2, 1 sets" in table
+        assert "Pareto" in table
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_scalability_table(self):
+        results = {0.05: {
+            "steps": 100.0, "miss_rate": 0.0, "max_latency_ms": 1.0,
+            "deferred": 10.0, "selected": 90.0,
+            "deferred_fraction": 0.1, "final_rmse": 0.01}}
+        table = scalability_table(results)
+        assert "0.05" in table and "10.0%" in table
+
+
+class TestCliEdges:
+    def test_solve_without_out(self, tmp_path, capsys):
+        import os
+        from repro.cli import main
+        path = os.path.join(tmp_path, "g.g2o")
+        main(["generate", "--dataset", "M3500", "--scale", "0.01",
+              str(path)])
+        capsys.readouterr()
+        assert main(["solve", str(path), "--solver", "gn"]) == 0
+        out = capsys.readouterr().out
+        assert "final objective" in out
+        assert "wrote" not in out
+
+    def test_generate_requires_dataset(self):
+        import pytest as _pytest
+        from repro.cli import main
+        with _pytest.raises(SystemExit):
+            main(["generate", "out.g2o"])

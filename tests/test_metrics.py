@@ -1,0 +1,221 @@
+"""Tests for alignment, APE, iRMSE, and latency statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factorgraph import Values
+from repro.geometry import SE2, SE3, SO3
+from repro.metrics import (
+    ape_statistics,
+    breakdown_means,
+    irmse,
+    latency_stats,
+    translation_errors,
+    umeyama_alignment,
+)
+
+
+class TestUmeyama:
+    def test_identity(self):
+        pts = np.random.default_rng(0).normal(size=(10, 3))
+        rot, trans, scale = umeyama_alignment(pts, pts)
+        np.testing.assert_allclose(rot, np.eye(3), atol=1e-10)
+        np.testing.assert_allclose(trans, np.zeros(3), atol=1e-10)
+        assert scale == 1.0
+
+    def test_recovers_rigid_transform(self):
+        rng = np.random.default_rng(1)
+        src = rng.normal(size=(20, 3))
+        true_rot = SO3.exp([0.3, -0.2, 0.5]).matrix()
+        true_t = np.array([1.0, -2.0, 0.5])
+        dst = (true_rot @ src.T).T + true_t
+        rot, trans, scale = umeyama_alignment(src, dst)
+        np.testing.assert_allclose(rot, true_rot, atol=1e-9)
+        np.testing.assert_allclose(trans, true_t, atol=1e-9)
+
+    def test_recovers_scale(self):
+        rng = np.random.default_rng(2)
+        src = rng.normal(size=(15, 2))
+        dst = 2.5 * src
+        _, _, scale = umeyama_alignment(src, dst, with_scale=True)
+        assert scale == pytest.approx(2.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            umeyama_alignment(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    @given(st.integers(3, 20), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_alignment_reduces_error(self, n, seed):
+        rng = np.random.default_rng(seed)
+        src = rng.normal(size=(n, 3))
+        rot = SO3.exp(rng.normal(scale=0.5, size=3)).matrix()
+        dst = (rot @ src.T).T + rng.normal(size=3)
+        r, t, s = umeyama_alignment(src, dst)
+        aligned = (s * (r @ src.T)).T + t
+        raw_err = np.linalg.norm(src - dst)
+        aligned_err = np.linalg.norm(aligned - dst)
+        assert aligned_err <= raw_err + 1e-9
+
+
+class TestTranslationErrors:
+    def make_trajectories(self):
+        est = Values()
+        ref = {}
+        for i in range(5):
+            est.insert(i, SE2(float(i) + 0.1, 0.0, 0.0))
+            ref[i] = SE2(float(i), 0.0, 0.0)
+        return est, ref
+
+    def test_unaligned(self):
+        est, ref = self.make_trajectories()
+        errors = translation_errors(est, ref, range(5))
+        np.testing.assert_allclose(errors, 0.1 * np.ones(5), atol=1e-12)
+
+    def test_aligned_removes_offset(self):
+        est, ref = self.make_trajectories()
+        errors = translation_errors(est, ref, range(5), align=True)
+        np.testing.assert_allclose(errors, np.zeros(5), atol=1e-9)
+
+    def test_empty_keys(self):
+        est, ref = self.make_trajectories()
+        assert translation_errors(est, ref, []).size == 0
+
+    def test_dict_estimate_supported(self):
+        _, ref = self.make_trajectories()
+        errors = translation_errors(ref, ref, range(5))
+        np.testing.assert_allclose(errors, np.zeros(5))
+
+    def test_se3_trajectories(self):
+        est = Values()
+        ref = {}
+        for i in range(4):
+            pose = SE3(SO3.identity(), np.array([i, 0.0, 0.0]))
+            ref[i] = pose
+            est.insert(i, pose.retract(np.array([0.2, 0, 0, 0, 0, 0])))
+        errors = translation_errors(est, ref, range(4))
+        np.testing.assert_allclose(errors, 0.2 * np.ones(4), atol=1e-9)
+
+
+class TestApeStatistics:
+    def test_max_and_rmse(self):
+        est = Values()
+        ref = {}
+        offsets = [0.0, 0.3, 0.4]
+        for i, off in enumerate(offsets):
+            est.insert(i, SE2(i + off, 0.0, 0.0))
+            ref[i] = SE2(float(i), 0.0, 0.0)
+        stats = ape_statistics(est, ref, range(3))
+        assert stats["max"] == pytest.approx(0.4)
+        assert stats["rmse"] == pytest.approx(
+            np.sqrt(np.mean(np.array(offsets) ** 2)))
+
+    def test_empty(self):
+        stats = ape_statistics(Values(), {}, [])
+        assert stats == {"max": 0.0, "rmse": 0.0}
+
+
+class TestIrmse:
+    def test_mean_of_steps(self):
+        assert irmse([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert irmse([]) == 0.0
+
+    def test_penalizes_transient_errors(self):
+        # Two trajectories with the same final error; the one that was bad
+        # in the middle must have a larger iRMSE — the metric's raison
+        # d'etre (Eq. 3).
+        steady = [0.1] * 10
+        spiky = [0.1] * 5 + [5.0] * 4 + [0.1]
+        assert irmse(spiky) > irmse(steady)
+
+
+class TestLatencyStats:
+    def test_basic(self):
+        stats = latency_stats([0.01, 0.02, 0.05], target_s=0.03)
+        assert stats.mean == pytest.approx(0.08 / 3)
+        assert stats.median == pytest.approx(0.02)
+        assert stats.maximum == pytest.approx(0.05)
+        assert stats.miss_rate == pytest.approx(1.0 / 3.0)
+        assert not stats.meets_target()
+
+    def test_all_within_target(self):
+        stats = latency_stats([0.01, 0.02], target_s=0.033)
+        assert stats.miss_rate == 0.0
+        assert stats.meets_target()
+
+    def test_empty(self):
+        stats = latency_stats([], target_s=0.033)
+        assert stats.mean == 0.0
+        assert stats.meets_target()
+
+    def test_breakdown_means(self):
+        means = breakdown_means([
+            {"numeric": 1.0, "symbolic": 0.5},
+            {"numeric": 3.0, "symbolic": 1.5},
+        ])
+        assert means == {"numeric": 2.0, "symbolic": 1.0}
+
+    def test_breakdown_means_empty(self):
+        assert breakdown_means([]) == {}
+
+
+class TestRpe:
+    def make(self, drift=0.0, kink_at=None):
+        from repro.metrics import rpe_statistics
+        est = Values()
+        ref = {}
+        x = 0.0
+        for i in range(8):
+            ref[i] = SE2(float(i), 0.0, 0.0)
+            step = 1.0 + drift
+            if kink_at is not None and i == kink_at:
+                step += 0.5
+            x = x + step if i else 0.0
+            est.insert(i, SE2(x, 0.0, 0.0))
+        return est, ref
+
+    def test_zero_for_identical(self):
+        from repro.metrics import rpe_statistics
+        est, ref = self.make()
+        stats = rpe_statistics(est, ref, range(8))
+        assert stats == {"rmse": 0.0, "max": 0.0, "mean": 0.0}
+
+    def test_constant_drift_constant_rpe(self):
+        from repro.metrics import relative_pose_errors
+        est, ref = self.make(drift=0.1)
+        errors = relative_pose_errors(est, ref, range(8))
+        np.testing.assert_allclose(errors, 0.1 * np.ones(7), atol=1e-12)
+
+    def test_insensitive_to_global_offset(self):
+        # Shift the whole estimate: APE changes, RPE does not.
+        from repro.metrics import relative_pose_errors
+        est, ref = self.make(drift=0.05)
+        shifted = Values()
+        offset = SE2(10.0, -3.0, 0.4)
+        for key in est.keys():
+            shifted.insert(key, offset.compose(est.at(key)))
+        a = relative_pose_errors(est, ref, range(8))
+        b = relative_pose_errors(shifted, ref, range(8))
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_localizes_kink(self):
+        from repro.metrics import relative_pose_errors
+        est, ref = self.make(kink_at=4)
+        errors = relative_pose_errors(est, ref, range(8))
+        assert np.argmax(errors) == 3  # pair (3, 4) holds the bad step
+
+    def test_delta_spans(self):
+        from repro.metrics import rpe_statistics
+        est, ref = self.make(drift=0.1)
+        one = rpe_statistics(est, ref, range(8), delta=1)
+        three = rpe_statistics(est, ref, range(8), delta=3)
+        assert three["mean"] == pytest.approx(3 * one["mean"], rel=1e-6)
+
+    def test_empty(self):
+        from repro.metrics import rpe_statistics
+        stats = rpe_statistics(Values(), {}, [])
+        assert stats["rmse"] == 0.0

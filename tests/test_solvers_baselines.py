@@ -1,0 +1,265 @@
+"""Tests for GaussNewton, FixedLagSmoother, and LocalGlobal baselines."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import (
+    BetweenFactorSE2,
+    BetweenFactorSE3,
+    FactorGraph,
+    IsotropicNoise,
+    PriorFactorSE2,
+    PriorFactorSE3,
+    Values,
+)
+from repro.geometry import SE2, SE3, SO3
+from repro.solvers import FixedLagSmoother, GaussNewton, LocalGlobal
+from repro.solvers.fixed_lag import (
+    LinearizedGaussianFactor,
+    marginalize_variable,
+)
+
+NOISE = IsotropicNoise(3, 0.1)
+
+
+def noisy_square_graph(side=5, noise_scale=0.2, seed=0):
+    """A square loop of poses with noisy initial guesses and a closure."""
+    rng = np.random.default_rng(seed)
+    truth = [SE2()]
+    motions = []
+    for leg in range(4):
+        for _ in range(side):
+            motion = SE2(1.0, 0.0, 0.0)
+            if _ == side - 1:
+                motion = SE2(1.0, 0.0, np.pi / 2.0)
+            motions.append(motion)
+            truth.append(truth[-1].compose(motion))
+    graph = FactorGraph()
+    initial = Values()
+    graph.add(PriorFactorSE2(0, truth[0], NOISE))
+    initial.insert(0, truth[0])
+    for i, motion in enumerate(motions, start=1):
+        graph.add(BetweenFactorSE2(i - 1, i, motion, NOISE))
+        guess = truth[i].retract(rng.normal(scale=noise_scale, size=3))
+        initial.insert(i, guess)
+    # Loop closure: last pose back to the first.
+    closure = truth[len(motions)].between(truth[0])
+    graph.add(BetweenFactorSE2(len(motions), 0, closure, NOISE))
+    return graph, initial, truth
+
+
+class TestGaussNewton:
+    def test_converges_to_truth_on_consistent_graph(self):
+        graph, initial, truth = noisy_square_graph()
+        result = GaussNewton(max_iterations=30).optimize(graph, initial)
+        assert result.converged
+        for i, pose in enumerate(truth):
+            assert result.values.at(i).is_close(pose, tol=1e-5)
+
+    def test_error_decreases(self):
+        graph, initial, _ = noisy_square_graph()
+        result = GaussNewton().optimize(graph, initial)
+        assert result.final_error < result.initial_error
+        assert result.error_history[0] == pytest.approx(result.initial_error)
+
+    def test_minimum_degree_ordering_same_answer(self):
+        graph, initial, _ = noisy_square_graph()
+        a = GaussNewton(ordering="chronological").optimize(graph, initial)
+        b = GaussNewton(ordering="minimum_degree").optimize(graph, initial)
+        for key in a.values.keys():
+            assert a.values.at(key).is_close(b.values.at(key), tol=1e-6)
+
+    def test_rejects_unknown_ordering(self):
+        with pytest.raises(ValueError):
+            GaussNewton(ordering="alphabetical")
+
+    def test_se3_graph(self):
+        rng = np.random.default_rng(1)
+        noise6 = IsotropicNoise(6, 0.1)
+        truth = [SE3()]
+        motion = SE3(SO3.from_rpy(0.0, 0.0, 0.2), np.array([1.0, 0.0, 0.1]))
+        graph = FactorGraph()
+        initial = Values()
+        graph.add(PriorFactorSE3(0, truth[0], noise6))
+        initial.insert(0, truth[0])
+        for i in range(1, 8):
+            truth.append(truth[-1].compose(motion))
+            graph.add(BetweenFactorSE3(i - 1, i, motion, noise6))
+            initial.insert(i, truth[i].retract(
+                rng.normal(scale=0.1, size=6)))
+        result = GaussNewton(max_iterations=30).optimize(graph, initial)
+        assert result.converged
+        for i, pose in enumerate(truth):
+            assert result.values.at(i).is_close(pose, tol=1e-4)
+
+    def test_zero_iterations_edge(self):
+        graph, initial, _ = noisy_square_graph()
+        result = GaussNewton(max_iterations=1).optimize(graph, initial)
+        assert result.iterations == 1
+
+
+class TestMarginalization:
+    def setup_chain(self):
+        values = Values()
+        values.insert(0, SE2())
+        values.insert(1, SE2(1.0, 0.0, 0.0))
+        values.insert(2, SE2(2.0, 0.0, 0.0))
+        factors = [
+            PriorFactorSE2(0, SE2(), NOISE),
+            BetweenFactorSE2(0, 1, SE2(1.0, 0.0, 0.0), NOISE),
+        ]
+        return values, factors
+
+    def test_marginal_preserves_information(self):
+        # Marginalizing pose 0 out of {prior(0), between(0,1)} must leave a
+        # prior on pose 1 whose information equals the Schur complement.
+        values, factors = self.setup_chain()
+        prior = marginalize_variable(0, factors, values)
+        assert prior is not None
+        assert prior.keys == (1,)
+        h_joint = np.zeros((6, 6))
+        for factor in factors:
+            blocks, _ = factor.linearize(values)
+            keys = sorted(blocks.keys())
+            stacked = np.hstack([blocks[k] for k in keys])
+            idx = np.concatenate([np.arange(3 * k, 3 * k + 3) for k in keys])
+            h_joint[np.ix_(idx, idx)] += stacked.T @ stacked
+        schur = (h_joint[3:, 3:] - h_joint[3:, :3]
+                 @ np.linalg.inv(h_joint[:3, :3] + 1e-9 * np.eye(3))
+                 @ h_joint[:3, 3:])
+        got = prior.a_matrix.T @ prior.a_matrix
+        np.testing.assert_allclose(got, schur, atol=1e-6)
+
+    def test_marginalize_isolated_returns_none(self):
+        values = Values()
+        values.insert(0, SE2())
+        assert marginalize_variable(
+            0, [PriorFactorSE2(0, SE2(), NOISE)], values) is None
+
+    def test_linearized_factor_zero_at_linpoint_solution(self):
+        values, factors = self.setup_chain()
+        prior = marginalize_variable(0, factors, values)
+        # Error at the linearization point is -b (offsets are zero).
+        err = prior.error_vector(values)
+        np.testing.assert_allclose(err, -prior.b)
+
+    def test_linearized_factor_jacobian_matches_numeric(self):
+        from repro.factorgraph.factors import numerical_jacobians
+        values, factors = self.setup_chain()
+        prior = marginalize_variable(0, factors, values)
+        analytic = prior.jacobians(values)
+        numeric = numerical_jacobians(prior, values)
+        for a, n in zip(analytic, numeric):
+            np.testing.assert_allclose(a, n, atol=1e-5)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LinearizedGaussianFactor([0], {0: SE2()}, np.eye(2), np.zeros(2))
+
+
+class TestFixedLagSmoother:
+    def feed(self, solver, n, with_closure=False):
+        solver.update({0: SE2()}, [PriorFactorSE2(0, SE2(), NOISE)])
+        for i in range(1, n):
+            factors = [BetweenFactorSE2(i - 1, i, SE2(1.0, 0.0, 0.0),
+                                        NOISE)]
+            if with_closure and i == n - 1:
+                factors.append(BetweenFactorSE2(
+                    0, i, SE2(float(i), 0.0, 0.0), NOISE))
+            solver.update({i: SE2(float(i) + 0.1, 0.05, 0.0)}, factors)
+        return solver
+
+    def test_window_bounded(self):
+        solver = self.feed(FixedLagSmoother(window=5), 12)
+        assert len(solver.values) == 5
+        assert len(solver.history) == 7
+
+    def test_estimate_covers_all_poses(self):
+        solver = self.feed(FixedLagSmoother(window=5), 12)
+        estimate = solver.estimate()
+        assert sorted(estimate.keys()) == list(range(12))
+
+    def test_marginal_prior_keeps_chain_anchored(self):
+        # After marginalizing the prior-carrying pose, the window must stay
+        # solvable (the marginal prior carries the anchoring information).
+        solver = self.feed(FixedLagSmoother(window=4), 10)
+        estimate = solver.estimate()
+        assert estimate.at(9).is_close(SE2(9.0, 0.0, 0.0), tol=1e-2)
+
+    def test_old_loop_closures_dropped(self):
+        solver = self.feed(FixedLagSmoother(window=5), 12,
+                           with_closure=True)
+        report_extras = solver.update(
+            {12: SE2(12.1, 0.0, 0.0)},
+            [BetweenFactorSE2(11, 12, SE2(1.0, 0.0, 0.0), NOISE),
+             BetweenFactorSE2(0, 12, SE2(12.0, 0.0, 0.0), NOISE)],
+        ).extras
+        assert report_extras["dropped_factors"] == 1.0
+
+    def test_latency_work_bounded_by_window(self):
+        solver = FixedLagSmoother(window=5)
+        reports = []
+        solver.update({0: SE2()}, [PriorFactorSE2(0, SE2(), NOISE)])
+        for i in range(1, 15):
+            reports.append(solver.update(
+                {i: SE2(float(i), 0.0, 0.0)},
+                [BetweenFactorSE2(i - 1, i, SE2(1.0, 0.0, 0.0), NOISE)]))
+        assert max(r.refactored_nodes for r in reports) <= 6
+
+
+class TestLocalGlobal:
+    def drive(self, n=40, closure_at=30, window=8, lc_gap=10):
+        solver = LocalGlobal(window=window, lc_gap=lc_gap,
+                             delay_model=lambda size: 3)
+        solver.update({0: SE2()}, [PriorFactorSE2(0, SE2(), NOISE)])
+        rng = np.random.default_rng(3)
+        truth = [SE2()]
+        for i in range(1, n):
+            motion = SE2(1.0, 0.0, 2.0 * np.pi / n)
+            truth.append(truth[-1].compose(motion))
+            measured = motion.retract(rng.normal(scale=0.02, size=3))
+            factors = [BetweenFactorSE2(i - 1, i, measured, NOISE)]
+            if i == closure_at:
+                factors.append(BetweenFactorSE2(
+                    0, i, truth[0].between(truth[i]), NOISE))
+            guess = truth[i].retract(rng.normal(scale=0.1, size=3))
+            solver.update({i: guess}, factors)
+        return solver, truth
+
+    def test_detects_loop_closure(self):
+        solver, _ = self.drive()
+        assert solver.loop_closure_steps == [30]
+
+    def test_correction_improves_old_poses(self):
+        solver, truth = self.drive()
+        estimate = solver.estimate()
+        # After the delayed global solve, history poses must be close to
+        # the globally consistent solution.
+        err = np.linalg.norm(estimate.at(15).t - truth[15].t)
+        assert err < 0.5
+
+    def test_no_global_without_closure(self):
+        solver = LocalGlobal(window=8, lc_gap=10)
+        solver.update({0: SE2()}, [PriorFactorSE2(0, SE2(), NOISE)])
+        for i in range(1, 20):
+            solver.update(
+                {i: SE2(float(i), 0.0, 0.0)},
+                [BetweenFactorSE2(i - 1, i, SE2(1.0, 0.0, 0.0), NOISE)])
+        assert solver.loop_closure_steps == []
+
+    def test_lc_gap_controls_detection(self):
+        solver = LocalGlobal(window=8, lc_gap=100)
+        assert not solver._is_loop_closure(
+            BetweenFactorSE2(0, 50, SE2(), NOISE))
+        assert solver._is_loop_closure(
+            BetweenFactorSE2(0, 101, SE2(), NOISE))
+
+
+class TestOrderingOptions:
+    def test_nested_dissection_same_answer(self):
+        graph, initial, _ = noisy_square_graph()
+        a = GaussNewton(ordering="chronological").optimize(graph, initial)
+        b = GaussNewton(ordering="nested_dissection").optimize(graph,
+                                                               initial)
+        for key in a.values.keys():
+            assert a.values.at(key).is_close(b.values.at(key), tol=1e-6)

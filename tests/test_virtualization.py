@@ -1,0 +1,74 @@
+"""Tests for the ReRoCC-style accelerator pool."""
+
+import pytest
+
+from repro.runtime.virtualization import AcceleratorPool
+
+
+class TestAcceleratorPool:
+    def test_initial_availability(self):
+        pool = AcceleratorPool(4)
+        assert pool.num_sets == 4
+        assert pool.available() == 4
+
+    def test_rejects_zero_sets(self):
+        with pytest.raises(ValueError):
+            AcceleratorPool(0)
+
+    def test_acquire_grants_up_to_count(self):
+        pool = AcceleratorPool(2)
+        granted, overhead = pool.acquire(3, owner=1, now=0.0)
+        assert len(granted) == 2
+        assert overhead == 2 * pool.acquire_overhead
+        assert pool.available() == 0
+
+    def test_acquire_when_empty_grants_nothing(self):
+        pool = AcceleratorPool(1)
+        pool.acquire(1, owner=1, now=0.0)
+        granted, overhead = pool.acquire(1, owner=2, now=1.0)
+        assert granted == []
+        assert overhead == 0.0
+
+    def test_release_restores_availability(self):
+        pool = AcceleratorPool(2)
+        granted, _ = pool.acquire(2, owner=7, now=0.0)
+        pool.release(granted, now=100.0)
+        assert pool.available() == 2
+
+    def test_double_release_raises(self):
+        pool = AcceleratorPool(1)
+        granted, _ = pool.acquire(1, owner=1, now=0.0)
+        pool.release(granted, now=5.0)
+        with pytest.raises(ValueError):
+            pool.release(granted, now=6.0)
+
+    def test_release_owned_by(self):
+        pool = AcceleratorPool(3)
+        pool.acquire(2, owner=1, now=0.0)
+        pool.acquire(1, owner=2, now=0.0)
+        pool.release_owned_by(1, now=10.0)
+        assert pool.available() == 2
+
+    def test_busy_cycles_accumulate(self):
+        pool = AcceleratorPool(1)
+        granted, _ = pool.acquire(1, owner=1, now=0.0)
+        pool.release(granted, now=50.0)
+        granted, _ = pool.acquire(1, owner=2, now=60.0)
+        pool.release(granted, now=90.0)
+        assert pool.busy_cycles() == [80.0]
+
+    def test_drain_closes_open_intervals(self):
+        pool = AcceleratorPool(2)
+        pool.acquire(2, owner=1, now=10.0)
+        pool.drain(now=30.0)
+        assert pool.available() == 2
+        assert pool.busy_cycles() == [20.0, 20.0]
+
+    def test_interleaved_owners(self):
+        pool = AcceleratorPool(2)
+        a, _ = pool.acquire(1, owner=1, now=0.0)
+        b, _ = pool.acquire(1, owner=2, now=0.0)
+        assert set(a).isdisjoint(b)
+        pool.release(a, now=5.0)
+        c, _ = pool.acquire(1, owner=3, now=6.0)
+        assert c == a  # the freed physical set is rebound
