@@ -1,0 +1,88 @@
+"""Microbenchmark: contiguous block-state vs the seed list-of-arrays.
+
+Streams scaled CAB2 through the seed engine (``tests/_seed_engine.py``,
+a verbatim pre-refactor snapshot) and the current engine, then times the
+two per-step bookkeeping hot spots the refactor vectorized:
+
+* relevance scores — ``delta_norms`` (one ``np.maximum.reduceat`` vs a
+  per-block Python dict comprehension), and
+* the wildfire back-substitution sweep with nothing dirty (one fancy-
+  indexed ``np.any`` per node vs a Python generator over the pattern).
+
+Asserts the combined speedup is at least 1.5x (the PR's acceptance
+floor).
+"""
+
+import time
+
+import pytest
+
+from repro.datasets import cab2_dataset
+from repro.instrumentation import StepContext
+from repro.solvers import ISAM2
+
+from tests._seed_engine import SeedISAM2
+
+SCALE = 0.2
+REPEATS = 5
+ITERATIONS = 60
+MIN_SPEEDUP = 1.5
+
+
+def _stream(solver, data):
+    for step in data.steps:
+        solver.update({step.key: step.guess}, step.factors)
+    return solver
+
+
+def _best_of(fn, repeats=REPEATS, iterations=ITERATIONS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="state-layer")
+def test_bookkeeping_speedup(once, save_result):
+    data = cab2_dataset(scale=SCALE)
+    seed = _stream(SeedISAM2(relin_threshold=0.05), data).engine
+    current = _stream(ISAM2(relin_threshold=0.05), data).engine
+    assert len(current.delta) == seed.num_positions
+
+    # Converge both wildfire sweeps so the timed region is the clean
+    # dirty-check bookkeeping, not triangular math.
+    seed._back_substitute([], None)
+    current._back_substitute([], StepContext(None))
+    ctx = StepContext(None)
+
+    def seed_step():
+        seed.delta_norms()
+        seed._back_substitute([], None)
+
+    def current_step():
+        current.delta_norm_array()
+        current._back_substitute([], ctx)
+
+    def measure():
+        seed_seconds = _best_of(seed_step)
+        current_seconds = _best_of(current_step)
+        return seed_seconds, current_seconds
+
+    seed_seconds, current_seconds = once(measure)
+    speedup = seed_seconds / current_seconds
+
+    lines = [
+        "state-layer bookkeeping microbenchmark "
+        f"(CAB2 scale={SCALE}, {seed.num_positions} positions)",
+        f"seed    delta_norms + wildfire sweep: "
+        f"{1e6 * seed_seconds / ITERATIONS:9.1f} us/step",
+        f"current delta_norms + wildfire sweep: "
+        f"{1e6 * current_seconds / ITERATIONS:9.1f} us/step",
+        f"speedup: {speedup:.2f}x (floor {MIN_SPEEDUP}x)",
+    ]
+    save_result("state_speedup", "\n".join(lines))
+    assert speedup >= MIN_SPEEDUP, (
+        f"contiguous state layer only {speedup:.2f}x faster")

@@ -20,6 +20,7 @@ from repro.datasets import cab2_dataset
 from repro.factorgraph import FactorGraph
 from repro.hardware import supernova_soc
 from repro.metrics import irmse, translation_errors
+from repro.pipeline import BackendPipeline, SnapshotStage
 from repro.runtime import NodeCostModel
 from repro.solvers import GaussNewton, ISAM2
 
@@ -27,11 +28,9 @@ from repro.solvers import GaussNewton, ISAM2
 def reference_snapshots(data):
     """Per-step converged estimates (the accuracy reference)."""
     solver = ISAM2(relin_threshold=1e-3, wildfire_tol=0.0)
-    snapshots = []
-    for step in data.steps:
-        solver.update({step.key: step.guess}, step.factors)
-        snapshots.append(solver.estimate())
-    return snapshots
+    snapshot = SnapshotStage()
+    BackendPipeline(solver, stages=[snapshot]).run(data)
+    return snapshot.snapshots
 
 
 def run_session(data, reference, offload_every):

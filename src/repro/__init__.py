@@ -13,10 +13,15 @@ Quick tour of the subpackages:
 * :mod:`repro.core` — RA-ISAM2 (the paper's contribution).
 * :mod:`repro.solvers` — ISAM2 engine and the baseline solvers.
 * :mod:`repro.linalg` — supernodal multifrontal Cholesky + tracing.
+* :mod:`repro.state` — contiguous block-state storage (BlockVector).
+* :mod:`repro.pipeline` — the online step loop and its pluggable stages.
+* :mod:`repro.instrumentation` — StepContext/StepReport plumbing.
 * :mod:`repro.factorgraph` / :mod:`repro.geometry` — problem modeling.
 * :mod:`repro.hardware` / :mod:`repro.runtime` — the simulated SoC.
 * :mod:`repro.datasets` / :mod:`repro.metrics` — workloads and metrics.
 * :mod:`repro.experiments` — harnesses behind ``benchmarks/``.
+
+See docs/architecture.md for how the layers fit together.
 
 See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the
 reproduction methodology and results.

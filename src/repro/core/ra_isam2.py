@@ -21,6 +21,7 @@ from repro.factorgraph.factors import Factor
 from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
 from repro.hardware.power import PowerModel
+from repro.instrumentation import StepContext
 from repro.linalg.trace import OpTrace
 from repro.runtime.cost_model import NodeCostModel
 from repro.solvers.base import StepReport
@@ -81,9 +82,11 @@ class RAISAM2:
 
     def update(self, new_values: Dict[Key, object],
                new_factors: Sequence[Factor],
-               trace: OpTrace = None) -> StepReport:
+               trace: Optional[OpTrace] = None,
+               context: Optional[StepContext] = None) -> StepReport:
         """One resource-aware backend step."""
         self._step += 1
+        ctx = context if context is not None else StepContext(trace)
         budget = StepBudget(self.target_seconds, self.safety,
                             self.energy_budget_joules)
         estimator = RelinCostEstimator(
@@ -119,18 +122,13 @@ class RAISAM2:
                 deferred += 1
 
         info = self.engine.update(new_values, new_factors, selected,
-                                  trace=trace)
-        return StepReport(
-            step=self._step,
-            relinearized_variables=info["relinearized_variables"],
-            relinearized_factors=info["relinearized_factors"],
-            affected_columns=info["affected_columns"],
-            refactored_nodes=info["refactored_nodes"],
-            trace=trace,
+                                  context=ctx)
+        ctx.extras["estimated_seconds"] = charged
+        return ctx.build_report(
+            self._step,
+            node_parents=self.engine.node_parents(info["fresh_sids"]),
             selection_visits=estimator.visits,
             deferred_variables=deferred,
-            node_parents=self.engine.node_parents(info["fresh_sids"]),
-            extras={"estimated_seconds": charged},
         )
 
     def estimate(self) -> Values:

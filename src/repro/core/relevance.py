@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.factorgraph.keys import Key
 from repro.runtime.cost_model import NodeCostModel
 from repro.solvers.isam2 import IncrementalEngine
@@ -20,9 +22,9 @@ from repro.solvers.isam2 import IncrementalEngine
 def relevance_scores(engine: IncrementalEngine,
                      floor: float = 0.0) -> List[Tuple[float, Key]]:
     """(score, key) pairs above ``floor``, most relevant first."""
-    scored = [(score, key)
-              for key, score in engine.delta_norms().items()
-              if score > floor]
+    norms = engine.delta_norm_array()
+    scored = [(float(norms[p]), engine.order[p])
+              for p in np.flatnonzero(norms > floor)]
     scored.sort(key=lambda pair: (-pair[0], pair[1]))
     return scored
 

@@ -1,53 +1,26 @@
 """Online execution harness: drive a solver through a dataset.
 
-Couples the solver loop (one pose + factors per step) with the hardware
-executor (per-step latency on a platform) and the accuracy metrics
-(per-step MAX/RMSE against ground truth) — the measurement loop behind
-every latency and accuracy figure.
+Thin wrapper over :class:`repro.pipeline.BackendPipeline` — the step
+loop (solve -> trace -> price-on-SoC -> error sampling) lives there
+once; this module keeps the historical ``run_online`` entry point and
+re-exports :class:`OnlineRun` for existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional
-
-import numpy as np
 
 from repro.datasets.pose_graph import PoseGraphDataset
 from repro.hardware.platforms import SoCConfig
-from repro.linalg.trace import OpTrace
-from repro.metrics.ape import irmse, translation_errors
-from repro.runtime.executor import StepLatency, execute_step
+from repro.pipeline import (
+    BackendPipeline,
+    ErrorSamplingStage,
+    OnlineRun,
+    PricingStage,
+)
 from repro.runtime.scheduler import RuntimeFeatures
-from repro.solvers.base import StepReport
 
-
-@dataclass
-class OnlineRun:
-    """Everything recorded while streaming a dataset through a solver."""
-
-    dataset: str
-    solver: str
-    reports: List[StepReport] = field(default_factory=list)
-    latencies: List[StepLatency] = field(default_factory=list)
-    step_max_error: List[float] = field(default_factory=list)
-    step_rmse: List[float] = field(default_factory=list)
-
-    @property
-    def final_max_error(self) -> float:
-        return self.step_max_error[-1] if self.step_max_error else 0.0
-
-    @property
-    def irmse(self) -> float:
-        return irmse(self.step_rmse)
-
-    @property
-    def max_over_steps(self) -> float:
-        """MAX metric: worst per-step maximum error (Table 4 upper rows)."""
-        return max(self.step_max_error) if self.step_max_error else 0.0
-
-    def latency_seconds(self) -> List[float]:
-        return [lat.total for lat in self.latencies]
+__all__ = ["OnlineRun", "run_online"]
 
 
 def run_online(
@@ -65,8 +38,8 @@ def run_online(
     Parameters
     ----------
     solver:
-        Any object with ``update(new_values, new_factors, trace=...)`` and
-        ``estimate()`` (ISAM2, RAISAM2, FixedLagSmoother, LocalGlobal).
+        Any object with ``update(new_values, new_factors, context=...)``
+        and ``estimate()`` (ISAM2, RAISAM2, FixedLagSmoother, LocalGlobal).
     soc:
         Platform to price each step on; None skips latency simulation.
     error_every:
@@ -77,25 +50,12 @@ def run_online(
         trajectory re-optimized to convergence at each step).  Ground
         truth is used when omitted.
     """
-    run = OnlineRun(dataset=dataset.name, solver=type(solver).__name__)
-    steps = dataset.steps[:max_steps] if max_steps else dataset.steps
-    for index, step in enumerate(steps):
-        trace = OpTrace() if soc is not None else None
-        report = solver.update({step.key: step.guess}, step.factors,
-                               trace=trace)
-        run.reports.append(report)
-        if soc is not None:
-            run.latencies.append(execute_step(
-                report, soc, report.node_parents, features))
-        if collect_errors and (index % error_every == 0
-                               or index == len(steps) - 1):
-            estimate = solver.estimate()
-            target = (reference[index] if reference is not None
-                      else dataset.ground_truth)
-            keys = [k for k in estimate.keys() if k in target]
-            errors = translation_errors(estimate, target, keys)
-            if errors.size:
-                run.step_max_error.append(float(errors.max()))
-                run.step_rmse.append(
-                    float(np.sqrt(np.mean(errors ** 2))))
-    return run
+    stages = []
+    if soc is not None:
+        stages.append(PricingStage(soc, features))
+    if collect_errors:
+        stages.append(ErrorSamplingStage(every=error_every,
+                                         reference=reference))
+    pipeline = BackendPipeline(solver, stages,
+                               collect_traces=soc is not None)
+    return pipeline.run(dataset, max_steps=max_steps)

@@ -11,7 +11,6 @@ from repro.datasets import run_online
 from repro.experiments.common import (
     ERROR_EVERY,
     dataset,
-    format_table,
     reference_trajectory,
     target_for,
 )

@@ -14,6 +14,7 @@ for it once per pytest session.
 
 from __future__ import annotations
 
+import math
 import os
 from functools import lru_cache
 from typing import List, Optional, Tuple
@@ -30,8 +31,8 @@ from repro.datasets import (
 from repro.datasets.pose_graph import PoseGraphDataset
 from repro.hardware import server_cpu, supernova_soc
 from repro.hardware.platforms import SoCConfig
-from repro.runtime import NodeCostModel, RuntimeFeatures, StepLatency, \
-    execute_step
+from repro.pipeline import BackendPipeline, SnapshotStage, reprice_run
+from repro.runtime import NodeCostModel, RuntimeFeatures, StepLatency
 from repro.solvers import ISAM2
 
 TARGET_SECONDS = 1.0 / 30.0      # 30 FPS -> 33.3 ms (paper Section 5.3)
@@ -90,12 +91,9 @@ def reference_trajectory(name: str):
     each step.
     """
     solver = ISAM2(relin_threshold=1e-3, wildfire_tol=0.0)
-    data = dataset(name)
-    snapshots = []
-    for step in data.steps:
-        solver.update({step.key: step.guess}, step.factors)
-        snapshots.append(solver.estimate())
-    return snapshots
+    snapshot = SnapshotStage()
+    BackendPipeline(solver, stages=[snapshot]).run(dataset(name))
+    return snapshot.snapshots
 
 
 @lru_cache(maxsize=None)
@@ -113,8 +111,7 @@ def price_run(run: OnlineRun, soc: SoCConfig,
               features: RuntimeFeatures = RuntimeFeatures.all(),
               ) -> List[StepLatency]:
     """Re-price an existing run's traces on a different platform."""
-    return [execute_step(report, soc, report.node_parents, features)
-            for report in run.reports]
+    return reprice_run(run, soc, features)
 
 
 def make_ra_solver(sets: int, target: float = TARGET_SECONDS,
@@ -147,8 +144,6 @@ def sparkline(values: List[float], width: int = 60,
     spanning orders of magnitude.  Pass shared ``bounds`` (in the
     original value domain) to make several sparklines comparable.
     """
-    import math
-
     if not values:
         return "(empty)"
     glyphs = " .:-=+*#%"

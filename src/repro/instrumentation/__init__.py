@@ -1,0 +1,13 @@
+"""Uniform per-step instrumentation for every backend solver.
+
+Replaces the ad-hoc ``trace=None`` threading: a :class:`StepContext`
+always exists for a step (null-cost when tracing is disabled), carries
+the :class:`~repro.linalg.trace.OpTrace`, the per-phase work counters
+(relinearization / symbolic / numeric / back-substitution) and solver
+extras, and builds the :class:`~repro.solvers.base.StepReport` the same
+way for ISAM2, RA-ISAM2, FixedLagSmoother and LocalGlobal.
+"""
+
+from repro.instrumentation.context import StepContext
+
+__all__ = ["StepContext"]

@@ -1,0 +1,82 @@
+"""Per-step instrumentation context shared by all backend solvers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.linalg.trace import NodeTrace, OpTrace
+
+if TYPE_CHECKING:  # solvers.base imports stay lazy: solvers import us
+    from repro.solvers.base import ParentMap, StepReport
+
+
+class StepContext:
+    """Everything measured while one backend step executes.
+
+    Created once per step (by :class:`~repro.pipeline.BackendPipeline`,
+    or implicitly by a solver called with the legacy ``trace=`` keyword)
+    and threaded through every phase.  When ``trace`` is None the context
+    still exists — the counters are plain int adds and :meth:`node`
+    returns None, so the disabled path stays null-cost.
+
+    Counters
+    --------
+    ``relin_variables`` / ``relin_factors``
+        Fluid-relinearization work (non-numeric, runs on CPU).
+    ``symbolic``
+        Columns whose symbolic structure was recomputed.
+    ``numeric``
+        Supernodes numerically refactorized.
+    ``backsub``
+        Supernodes visited by the wildfire back-substitution.
+    """
+
+    __slots__ = ("trace", "step", "is_last", "relin_variables",
+                 "relin_factors", "symbolic", "numeric", "backsub",
+                 "extras")
+
+    def __init__(self, trace: Optional[OpTrace] = None, step: int = 0,
+                 is_last: bool = False):
+        self.trace = trace
+        self.step = int(step)
+        self.is_last = bool(is_last)
+        self.relin_variables = 0
+        self.relin_factors = 0
+        self.symbolic = 0
+        self.numeric = 0
+        self.backsub = 0
+        self.extras: Dict[str, float] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether op tracing is active for this step."""
+        return self.trace is not None
+
+    def node(self, node_id: int, cols: int = 0,
+             rows_below: int = 0) -> Optional[NodeTrace]:
+        """The per-supernode trace, or None when tracing is disabled."""
+        if self.trace is None:
+            return None
+        return self.trace.node(node_id, cols=cols, rows_below=rows_below)
+
+    def build_report(self, step: int,
+                     node_parents: Optional["ParentMap"] = None,
+                     selection_visits: int = 0,
+                     deferred_variables: int = 0) -> "StepReport":
+        """Assemble the uniform :class:`StepReport` for this step."""
+        from repro.solvers.base import StepReport
+
+        extras = dict(self.extras)
+        extras.setdefault("backsub_nodes", float(self.backsub))
+        return StepReport(
+            step=step,
+            relinearized_variables=self.relin_variables,
+            relinearized_factors=self.relin_factors,
+            affected_columns=self.symbolic,
+            refactored_nodes=self.numeric,
+            trace=self.trace,
+            selection_visits=selection_visits,
+            deferred_variables=deferred_variables,
+            node_parents=node_parents,
+            extras=extras,
+        )

@@ -77,20 +77,35 @@ class MultifrontalCholesky:
         self._offsets: List[Dict[int, int]] = []
         self._m: List[int] = []
         self._front: List[int] = []
+        # Contiguous block-state layout: one flat buffer per vector with
+        # per-node scalar-index caches (see repro.state.BlockVector).
+        self._scalar_off = np.concatenate(
+            [[0], np.cumsum(dims)]).astype(np.intp)
+        self._total = int(self._scalar_off[-1])
+        self._own_idx: List[np.ndarray] = []
+        self._row_idx: List[np.ndarray] = []
         for node in symbolic.supernodes:
             offsets, m, front = front_offsets(
                 node.positions, node.row_pattern, dims)
             self._offsets.append(offsets)
             self._m.append(m)
             self._front.append(front)
-        self._gradient: List[np.ndarray] = [
-            np.zeros(d) for d in dims
-        ]
+            self._own_idx.append(self._flat_indices(node.positions))
+            self._row_idx.append(self._flat_indices(node.row_pattern))
+        self._gradient = np.zeros(self._total)
+
+    def _flat_indices(self, positions: Sequence[int]) -> np.ndarray:
+        if not len(positions):
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate([
+            np.arange(self._scalar_off[p], self._scalar_off[p + 1],
+                      dtype=np.intp)
+            for p in positions])
 
     def factorize(
         self,
         contributions: Sequence[FactorContribution],
-        trace: OpTrace = None,
+        trace: Optional[OpTrace] = None,
     ) -> None:
         """Assemble and factorize all supernodes bottom-up."""
         symbolic = self.symbolic
@@ -100,13 +115,11 @@ class MultifrontalCholesky:
             sid = symbolic.node_of[contrib.positions[0]]
             node_factors.setdefault(sid, []).append(contrib)
 
-        for grad in self._gradient:
-            grad[:] = 0.0
+        self._gradient[:] = 0.0
         for contrib in contributions:
-            cursor = 0
-            for p in contrib.positions:
-                self._gradient[p] += contrib.gradient[cursor:cursor + dims[p]]
-                cursor += dims[p]
+            np.add.at(self._gradient,
+                      self._flat_indices(contrib.positions),
+                      contrib.gradient)
 
         updates: Dict[int, np.ndarray] = {}
         for sid in symbolic.node_order():
@@ -150,29 +163,36 @@ class MultifrontalCholesky:
             if node.parent != -1:
                 updates[sid] = c_update
 
-    def solve(self, trace: OpTrace = None) -> List[np.ndarray]:
+    def solve(self, trace: Optional[OpTrace] = None) -> List[np.ndarray]:
         """Solve ``H delta = g`` for the assembled gradient."""
-        return self.solve_vector(self._gradient, trace)
+        return self._solve_flat(self._gradient, trace)
 
     def solve_vector(self, rhs_blocks: Sequence[np.ndarray],
-                     trace: OpTrace = None) -> List[np.ndarray]:
+                     trace: Optional[OpTrace] = None) -> List[np.ndarray]:
         """Two triangular solves (Ly = b, L^T x = y) over the tree.
 
         ``rhs_blocks`` holds one vector per elimination position; returns
         the solution in the same layout.  Requires a prior
         :meth:`factorize`.
         """
+        flat = (np.concatenate([np.asarray(r, dtype=float)
+                                for r in rhs_blocks])
+                if len(rhs_blocks) else np.zeros(0))
+        return self._solve_flat(flat, trace)
+
+    def _solve_flat(self, rhs_flat: np.ndarray,
+                    trace: Optional[OpTrace] = None) -> List[np.ndarray]:
         symbolic = self.symbolic
-        dims = symbolic.dims
-        carry: List[np.ndarray] = [np.zeros(d) for d in dims]
-        y_store: List[np.ndarray] = [None] * len(symbolic.supernodes)
+        off = self._scalar_off
+        carry = np.zeros(self._total)
+        y_store: List[Optional[np.ndarray]] = [None] * len(
+            symbolic.supernodes)
 
         for sid in symbolic.node_order():
             node = symbolic.supernodes[sid]
             m = self._m[sid]
-            rhs = np.concatenate(
-                [rhs_blocks[p] - carry[p] for p in node.positions]
-            ) if node.positions else np.zeros(0)
+            own = self._own_idx[sid]
+            rhs = rhs_flat[own] - carry[own]
             y = scipy.linalg.solve_triangular(
                 self._l_a[sid], rhs, lower=True, check_finite=False)
             y_store[sid] = y
@@ -181,22 +201,18 @@ class MultifrontalCholesky:
                 node_trace.record(OpKind.TRSV, m)
             if node.row_pattern:
                 spread = self._l_b[sid] @ y
-                cursor = 0
-                for p in node.row_pattern:
-                    carry[p] += spread[cursor:cursor + dims[p]]
-                    cursor += dims[p]
+                carry[self._row_idx[sid]] += spread
                 if node_trace is not None:
                     node_trace.record(OpKind.GEMV, len(spread), m)
 
-        delta: List[np.ndarray] = [None] * symbolic.n
+        x_flat = np.zeros(self._total)
         for sid in reversed(symbolic.node_order()):
             node = symbolic.supernodes[sid]
             m = self._m[sid]
-            rhs = y_store[sid].copy()
+            rhs = y_store[sid]
             if node.row_pattern:
-                above = np.concatenate(
-                    [delta[p] for p in node.row_pattern])
-                rhs -= self._l_b[sid].T @ above
+                above = x_flat[self._row_idx[sid]]
+                rhs = rhs - self._l_b[sid].T @ above
                 if trace is not None:
                     trace.node(sid).record(OpKind.GEMV, m, len(above))
             x = scipy.linalg.solve_triangular(
@@ -204,11 +220,8 @@ class MultifrontalCholesky:
                 check_finite=False)
             if trace is not None:
                 trace.node(sid).record(OpKind.TRSV, m)
-            cursor = 0
-            for p in node.positions:
-                delta[p] = x[cursor:cursor + dims[p]]
-                cursor += dims[p]
-        return delta
+            x_flat[self._own_idx[sid]] = x
+        return [x_flat[off[p]:off[p + 1]] for p in range(symbolic.n)]
 
     def dense_l(self) -> np.ndarray:
         """Reconstruct the full dense Cholesky factor (tests only)."""

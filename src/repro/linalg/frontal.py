@@ -8,7 +8,7 @@ into the parent.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.linalg
@@ -66,7 +66,7 @@ def scatter_add_block(front: np.ndarray, idx: np.ndarray,
 def factorize_front(
     front: np.ndarray,
     m: int,
-    trace: NodeTrace = None,
+    trace: Optional[NodeTrace] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Partial factorization of a frontal matrix (paper Fig. 5 bottom).
 

@@ -1,0 +1,175 @@
+"""Single-sourced step loop: solve -> trace -> price-on-SoC -> errors.
+
+Every latency and accuracy figure streams a dataset through a solver and
+records something per step.  The loop used to be copy-pasted across the
+streaming harness, the experiment caches and several examples; it now
+lives here once, with the per-step observations expressed as pluggable
+:class:`PipelineStage` hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.platforms import SoCConfig
+from repro.instrumentation import StepContext
+from repro.linalg.trace import OpTrace
+from repro.metrics.ape import irmse, translation_errors
+from repro.runtime.executor import StepLatency, execute_step
+from repro.runtime.scheduler import RuntimeFeatures
+from repro.solvers.base import StepReport
+
+if TYPE_CHECKING:
+    from repro.datasets.pose_graph import PoseGraphDataset
+
+
+@dataclass
+class OnlineRun:
+    """Everything recorded while streaming a dataset through a solver."""
+
+    dataset: str
+    solver: str
+    reports: List[StepReport] = field(default_factory=list)
+    latencies: List[StepLatency] = field(default_factory=list)
+    step_max_error: List[float] = field(default_factory=list)
+    step_rmse: List[float] = field(default_factory=list)
+
+    @property
+    def final_max_error(self) -> float:
+        return self.step_max_error[-1] if self.step_max_error else 0.0
+
+    @property
+    def irmse(self) -> float:
+        return irmse(self.step_rmse)
+
+    @property
+    def max_over_steps(self) -> float:
+        """MAX metric: worst per-step maximum error (Table 4 upper rows)."""
+        return max(self.step_max_error) if self.step_max_error else 0.0
+
+    def latency_seconds(self) -> List[float]:
+        return [lat.total for lat in self.latencies]
+
+
+class PipelineStage:
+    """Per-step observation hook.
+
+    ``on_step`` runs after the solver processed the step; ``finish`` runs
+    once after the last step.  Stages read the solver/dataset through the
+    pipeline and append whatever they measure to the run (or to their own
+    state, like :class:`SnapshotStage`).
+    """
+
+    def on_step(self, pipeline: "BackendPipeline", ctx: StepContext,
+                report: StepReport, run: OnlineRun) -> None:
+        raise NotImplementedError
+
+    def finish(self, pipeline: "BackendPipeline", run: OnlineRun) -> None:
+        """Optional end-of-run hook (batched/async stages flush here)."""
+
+
+class PricingStage(PipelineStage):
+    """Price each step's op trace on a platform (paper Figs. 8/10/11)."""
+
+    def __init__(self, soc: SoCConfig,
+                 features: RuntimeFeatures = RuntimeFeatures.all()):
+        self.soc = soc
+        self.features = features
+
+    def price(self, report: StepReport) -> StepLatency:
+        return execute_step(report, self.soc, report.node_parents,
+                            self.features)
+
+    def on_step(self, pipeline, ctx, report, run) -> None:
+        run.latencies.append(self.price(report))
+
+
+class ErrorSamplingStage(PipelineStage):
+    """Per-step trajectory error against a reference (paper Section 5.3).
+
+    Evaluates every ``every`` steps plus the final step; uses the given
+    per-step ``reference`` estimates when provided, else the dataset's
+    ground truth.
+    """
+
+    def __init__(self, every: int = 1, reference: Optional[List] = None):
+        self.every = max(1, int(every))
+        self.reference = reference
+
+    def on_step(self, pipeline, ctx, report, run) -> None:
+        if ctx.step % self.every and not ctx.is_last:
+            return
+        estimate = pipeline.solver.estimate()
+        target = (self.reference[ctx.step] if self.reference is not None
+                  else pipeline.dataset.ground_truth)
+        keys = [k for k in estimate.keys() if k in target]
+        errors = translation_errors(estimate, target, keys)
+        if errors.size:
+            run.step_max_error.append(float(errors.max()))
+            run.step_rmse.append(float(np.sqrt(np.mean(errors ** 2))))
+
+
+class SnapshotStage(PipelineStage):
+    """Capture the solver's full estimate after every step (reference
+    trajectories, offline analysis)."""
+
+    def __init__(self):
+        self.snapshots: List = []
+
+    def on_step(self, pipeline, ctx, report, run) -> None:
+        self.snapshots.append(pipeline.solver.estimate())
+
+
+class BackendPipeline:
+    """Owns the online step loop for one solver.
+
+    Parameters
+    ----------
+    solver:
+        Any object with ``update(new_values, new_factors, context=...)``
+        (or the legacy ``trace=`` keyword) and ``estimate()``.
+    stages:
+        :class:`PipelineStage` hooks run in order after each step.
+    collect_traces:
+        Attach an :class:`OpTrace` to every step's context (required by
+        any pricing stage; costs trace-recording time when enabled).
+    """
+
+    def __init__(self, solver, stages: Sequence[PipelineStage] = (),
+                 collect_traces: bool = False):
+        self.solver = solver
+        self.stages = list(stages)
+        self.collect_traces = bool(collect_traces)
+        self.dataset: Optional["PoseGraphDataset"] = None
+
+    def run(self, dataset: "PoseGraphDataset",
+            max_steps: Optional[int] = None) -> OnlineRun:
+        """Stream the dataset through the solver step by step."""
+        self.dataset = dataset
+        run = OnlineRun(dataset=dataset.name,
+                        solver=type(self.solver).__name__)
+        steps = dataset.steps[:max_steps] if max_steps else dataset.steps
+        last = len(steps) - 1
+        for index, step in enumerate(steps):
+            ctx = StepContext(
+                OpTrace() if self.collect_traces else None,
+                step=index, is_last=index == last)
+            report = self.solver.update({step.key: step.guess},
+                                        step.factors, context=ctx)
+            run.reports.append(report)
+            for stage in self.stages:
+                stage.on_step(self, ctx, report, run)
+        for stage in self.stages:
+            stage.finish(self, run)
+        return run
+
+
+def reprice_run(run: OnlineRun, soc: SoCConfig,
+                features: RuntimeFeatures = RuntimeFeatures.all(),
+                ) -> List[StepLatency]:
+    """Re-price an existing run's traces on a different platform."""
+    stage = PricingStage(soc, features)
+    return [stage.price(report) for report in run.reports]

@@ -73,7 +73,10 @@ def node_cycles(trace: NodeTrace, soc: SoCConfig,
 
     ``compute`` runs on COMP, ``memory`` on MEM (or folded into ``host``
     when the SoC has no MEM tile, e.g. Spatula), ``host`` cycles serialize
-    with compute (CPU-side scatter on Spatula).
+    with compute (CPU-side scatter on Spatula).  When
+    ``features.hetero_overlap`` is off, MEM-tile work still runs at the
+    MEM tile's rate but serializes with compute, so it is reported in
+    the ``host`` lane instead of the overlappable ``memory`` lane.
     """
     comp_cycles = 0.0
     mem_cycles = 0.0
@@ -82,7 +85,10 @@ def node_cycles(trace: NodeTrace, soc: SoCConfig,
         if soc.has_accelerators and soc.comp.supports(op):
             comp_cycles += soc.comp.op_cycles(op)
         elif op.is_memory_op and soc.offloads_memory_ops:
-            mem_cycles += soc.mem.op_cycles(op)
+            if features.hetero_overlap:
+                mem_cycles += soc.mem.op_cycles(op)
+            else:
+                host_cycles += soc.mem.op_cycles(op)
         else:
             host_cycles += soc.host.op_cycles(op)
     return comp_cycles, mem_cycles, host_cycles
@@ -202,11 +208,6 @@ def simulate_tree(
                     ready.pop(i)
                     comp, mem, host = node_cycles(traces[sid], soc,
                                                   features)
-                    if not features.hetero_overlap:
-                        # MEM work serializes with compute on the host
-                        # thread instead of overlapping.
-                        host += mem
-                        mem = 0.0
                     _, bind = pool.acquire(1, sid, now)
                     job = _Running(sid, comp, mem, host + bind, 1, now)
                     running[sid] = job

@@ -18,11 +18,13 @@ from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
 from repro.factorgraph.noise import IsotropicNoise
 from repro.factorgraph.values import Values
+from repro.instrumentation import StepContext
 from repro.linalg.cholesky import MultifrontalCholesky
 from repro.linalg.symbolic import SymbolicFactorization
 from repro.linalg.trace import OpTrace
 from repro.solvers.base import StepReport
 from repro.solvers.linearize import linearize_graph
+from repro.state import BlockVector
 
 
 class LinearizedGaussianFactor(Factor):
@@ -141,9 +143,11 @@ class FixedLagSmoother:
 
     def update(self, new_values: Dict[Key, object],
                new_factors: Sequence[Factor],
-               trace: OpTrace = None) -> StepReport:
+               trace: Optional[OpTrace] = None,
+               context: Optional[StepContext] = None) -> StepReport:
         """Process one timestep: insert, optimize window, marginalize."""
         self._step += 1
+        ctx = context if context is not None else StepContext(trace)
         for key in sorted(new_values.keys()):
             self.values.insert(key, new_values[key])
             self._active.append(key)
@@ -156,18 +160,15 @@ class FixedLagSmoother:
             else:
                 dropped_factors += 1
 
-        self._optimize(trace)
+        self._optimize(ctx)
         while len(self._active) > self.window:
             self._marginalize_oldest()
-        return StepReport(
-            step=self._step,
-            relinearized_variables=len(self._active),
-            refactored_nodes=len(self._active),
-            trace=trace,
-            extras={"dropped_factors": float(dropped_factors)},
-        )
+        ctx.relin_variables += len(self._active)
+        ctx.numeric += len(self._active)
+        ctx.extras["dropped_factors"] = float(dropped_factors)
+        return ctx.build_report(self._step)
 
-    def _optimize(self, trace: OpTrace = None) -> None:
+    def _optimize(self, ctx: StepContext) -> None:
         keys = sorted(self.values.keys())
         position_of = {k: i for i, k in enumerate(keys)}
         dims = [self.values.at(k).dim for k in keys]
@@ -180,8 +181,9 @@ class FixedLagSmoother:
                 self.graph.factors(), self.values, position_of)
             solver = MultifrontalCholesky(symbolic, damping=self.damping)
             last = iteration == self.iterations - 1
-            solver.factorize(contributions, trace=trace if last else None)
-            delta = solver.solve(trace=trace if last else None)
+            trace = ctx.trace if last else None
+            solver.factorize(contributions, trace=trace)
+            delta = BlockVector.from_blocks(solver.solve(trace=trace))
             self.values.retract_in_place(
                 {keys[p]: delta[p] for p in range(len(keys))})
 

@@ -10,8 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-import numpy as np
-
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
@@ -20,6 +18,7 @@ from repro.linalg.ordering import chronological_order, \
     minimum_degree_order, nested_dissection_order
 from repro.linalg.symbolic import SymbolicFactorization
 from repro.solvers.linearize import linearize_graph
+from repro.state import BlockVector
 
 
 @dataclass
@@ -93,13 +92,11 @@ class GaussNewton:
                 graph.factors(), values, position_of)
             solver = MultifrontalCholesky(symbolic, damping=self.damping)
             solver.factorize(contributions)
-            delta = solver.solve()
+            delta = BlockVector.from_blocks(solver.solve())
             step = {order[p]: delta[p] for p in range(len(order))}
             values.retract_in_place(step)
             history.append(graph.error(values))
-            max_step = max(
-                (float(np.max(np.abs(d))) for d in delta), default=0.0)
-            if max_step < self.tolerance:
+            if delta.abs_max() < self.tolerance:
                 converged = True
                 break
         return GaussNewtonResult(

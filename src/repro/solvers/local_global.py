@@ -15,6 +15,7 @@ from repro.factorgraph.factors import Factor
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
+from repro.instrumentation import StepContext
 from repro.linalg.trace import OpTrace
 from repro.solvers.base import StepReport
 from repro.solvers.fixed_lag import FixedLagSmoother
@@ -68,8 +69,10 @@ class LocalGlobal:
 
     def update(self, new_values: Dict[Key, object],
                new_factors: Sequence[Factor],
-               trace: OpTrace = None) -> StepReport:
+               trace: Optional[OpTrace] = None,
+               context: Optional[StepContext] = None) -> StepReport:
         self._step += 1
+        ctx = context if context is not None else StepContext(trace)
         for key, value in new_values.items():
             self._initials[key] = value
         closures = 0
@@ -81,7 +84,7 @@ class LocalGlobal:
                   and factor.keys[1] - factor.keys[0] == 1
                   and hasattr(factor, "measured")):
                 self._odometry[factor.keys[1]] = factor.measured
-        report = self.local.update(new_values, new_factors, trace=trace)
+        report = self.local.update(new_values, new_factors, context=ctx)
         report.step = self._step
 
         if closures and self._pending is None:

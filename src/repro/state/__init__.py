@@ -1,0 +1,18 @@
+"""Contiguous block-state storage for the SLAM backend.
+
+The hot path of the incremental solvers keeps three per-variable vectors
+alive across steps: the pending update ``delta``, the accumulated
+gradient, and the forward-solve carry.  Storing them as Python lists of
+tiny ndarrays makes every bookkeeping pass (relevance scoring, rhs
+assembly, wildfire dirty checks) an interpreter-bound loop.
+
+:class:`BlockVector` packs all blocks into one growable flat ndarray
+with a per-position offset index, so those passes become single
+vectorized operations (``np.maximum.reduceat`` for per-block max-norms,
+fancy-index gathers, ``np.add.at`` scatter-adds) while still exposing
+list-like per-position views for compatibility.
+"""
+
+from repro.state.block_vector import BlockVector
+
+__all__ = ["BlockVector"]

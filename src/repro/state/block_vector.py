@@ -1,0 +1,176 @@
+"""A growable contiguous vector of variable-dimension blocks.
+
+One flat float64 buffer holds every block back to back; an offset index
+maps block position ``p`` to ``data[offsets[p]:offsets[p + 1]]``.  Blocks
+are append-only (the incremental engines never remove variables), so
+offsets of existing blocks are stable and per-node index arrays can be
+cached across steps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+
+class BlockVector:
+    """Flat storage for per-variable vectors with list-like block views.
+
+    Supports the access patterns of the incremental SLAM backend:
+
+    * ``bv[p]`` — a writable ndarray *view* of block ``p`` (aliasing the
+      flat buffer), so legacy per-variable code keeps working;
+    * ``bv.block_abs_max()`` — per-block infinity norms in one
+      ``np.maximum.reduceat`` (the RA-ISAM2 relevance-score pass);
+    * ``bv.indices(positions)`` / ``gather`` / ``scatter_add`` — cached
+      fancy-index bulk reads and duplicate-safe ``np.add.at`` writes over
+      arbitrary position subsets (rhs assembly, carry spreading).
+    """
+
+    __slots__ = ("_data", "_offsets", "_nblocks", "_used")
+
+    def __init__(self, dims: Iterable[int] = (), capacity: int = 64):
+        self._data = np.zeros(max(1, int(capacity)))
+        self._offsets = np.zeros(16, dtype=np.intp)
+        self._nblocks = 0
+        self._used = 0
+        for dim in dims:
+            self.append_block(dim)
+
+    # ------------------------------------------------------------------
+    # construction / growth
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_blocks(cls, blocks: Sequence[np.ndarray]) -> "BlockVector":
+        """Pack a list of 1-d arrays into one contiguous BlockVector."""
+        out = cls(capacity=max(1, sum(b.size for b in blocks)))
+        for block in blocks:
+            out.append_block(block.size, block)
+        return out
+
+    def append_block(self, dim: int, values=None) -> int:
+        """Append a block of ``dim`` scalars; returns its position."""
+        dim = int(dim)
+        if dim < 0:
+            raise ValueError("block dimension must be non-negative")
+        if self._nblocks + 1 >= self._offsets.size:
+            grown = np.zeros(2 * self._offsets.size, dtype=np.intp)
+            grown[:self._nblocks + 1] = self._offsets[:self._nblocks + 1]
+            self._offsets = grown
+        needed = self._used + dim
+        if needed > self._data.size:
+            grown = np.zeros(max(needed, 2 * self._data.size))
+            grown[:self._used] = self._data[:self._used]
+            self._data = grown
+        pos = self._nblocks
+        self._offsets[pos + 1] = needed
+        if values is not None:
+            self._data[self._used:needed] = values
+        self._used = needed
+        self._nblocks += 1
+        return pos
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self._nblocks
+
+    @property
+    def total_dim(self) -> int:
+        return self._used
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Block boundaries (length ``num_blocks + 1``, read-only use)."""
+        return self._offsets[:self._nblocks + 1]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The live flat buffer (a view; writes go through)."""
+        return self._data[:self._used]
+
+    def dim_of(self, position: int) -> int:
+        return int(self._offsets[position + 1] - self._offsets[position])
+
+    # ------------------------------------------------------------------
+    # list-like block access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._nblocks
+
+    def __getitem__(self, position: int) -> np.ndarray:
+        if position < 0:
+            position += self._nblocks
+        if not 0 <= position < self._nblocks:
+            raise IndexError(f"block {position} out of range")
+        return self._data[self._offsets[position]:
+                          self._offsets[position + 1]]
+
+    def __setitem__(self, position: int, value) -> None:
+        self[position][:] = value
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for p in range(self._nblocks):
+            yield self[p]
+
+    def to_blocks(self) -> List[np.ndarray]:
+        """Independent copies of every block (tests / snapshots)."""
+        return [self[p].copy() for p in range(self._nblocks)]
+
+    # ------------------------------------------------------------------
+    # vectorized bulk operations
+    # ------------------------------------------------------------------
+
+    def zero_(self) -> None:
+        self._data[:self._used] = 0.0
+
+    def zero_block(self, position: int) -> None:
+        self[position][:] = 0.0
+
+    def abs_max(self) -> float:
+        """Global infinity norm over every block."""
+        if self._used == 0:
+            return 0.0
+        return float(np.max(np.abs(self._data[:self._used])))
+
+    def block_abs_max(self) -> np.ndarray:
+        """Per-block infinity norms, vectorized (empty blocks -> 0)."""
+        out = np.zeros(self._nblocks)
+        if self._nblocks == 0 or self._used == 0:
+            return out
+        starts = self._offsets[:self._nblocks]
+        nonempty = starts < self._offsets[1:self._nblocks + 1]
+        magnitudes = np.abs(self._data[:self._used])
+        if nonempty.all():
+            out = np.maximum.reduceat(magnitudes, starts)
+        else:
+            # reduceat folds an empty segment into its neighbour; feed it
+            # only the non-empty block starts (still one vector pass).
+            out[nonempty] = np.maximum.reduceat(magnitudes,
+                                                starts[nonempty])
+        return out
+
+    def indices(self, positions: Sequence[int]) -> np.ndarray:
+        """Flat scalar indices covering ``positions`` (cacheable)."""
+        if not len(positions):
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate([
+            np.arange(self._offsets[p], self._offsets[p + 1],
+                      dtype=np.intp)
+            for p in positions])
+
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        """Concatenated copy of the scalars at ``idx``."""
+        return self._data[idx]
+
+    def scatter_add(self, idx: np.ndarray, values: np.ndarray,
+                    sign: float = 1.0) -> None:
+        """``data[idx] += sign * values`` (duplicate-safe)."""
+        np.add.at(self._data, idx, values if sign == 1.0
+                  else sign * values)

@@ -1,27 +1,8 @@
-"""Incremental smoothing and mapping (ISAM2) over the elimination tree.
+"""Verbatim snapshot of the seed (pre-BlockVector) incremental engine.
 
-The engine maintains a supernodal Cholesky factorization of the Hessian
-that is *partially* updated at each step (paper Section 3.4):
-
-* New poses take the highest elimination positions (chronological
-  ordering), so odometry updates only touch nodes near the root while a
-  loop closure reaches a node deep in the tree.
-* Each supernode caches its update matrix C and its forward-solve rhs
-  spread, so refactorizing an affected node can consume unaffected
-  children without recomputing them (the ISAM2 "cached factor" trick).
-* Back-substitution is *wildfire*: it only descends into unaffected
-  subtrees whose incoming delta changed more than a threshold.
-
-Because factors are only ever added (no removal in ISAM2), the block
-structure grows monotonically: elimination-tree parents never change once
-assigned, which keeps incremental symbolic factorization simple and exact.
-
-State layout: ``delta``, ``_gradient`` and ``_carry`` live in contiguous
-:class:`~repro.state.BlockVector` storage (one flat buffer + offset
-index), so the per-step bookkeeping — relevance scores, rhs assembly,
-carry spreading, the wildfire dirty check — runs as vectorized array
-operations over cached per-node index arrays instead of per-variable
-Python loops.
+Kept as the reference implementation for the refactor-equivalence tests:
+the ported engine must reproduce this engine's per-step delta
+trajectories and op traces to 1e-9.  Do not modernize this file.
 """
 
 from __future__ import annotations
@@ -36,7 +17,6 @@ from repro.factorgraph.factors import Factor
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
-from repro.instrumentation.context import StepContext
 from repro.linalg.cholesky import FactorContribution
 from repro.linalg.frontal import (
     factorize_front,
@@ -47,22 +27,13 @@ from repro.linalg.frontal import (
 from repro.linalg.trace import OpKind, OpTrace
 from repro.solvers.base import StepReport
 from repro.solvers.linearize import linearize_factor
-from repro.state import BlockVector
 
 
 class _Node:
-    """A live supernode with its cached numeric state.
-
-    ``pos_idx`` / ``pattern_idx`` are flat scalar indices into the
-    engine's block state covering the node's own positions and its
-    sub-diagonal row pattern; they are computed once when the node is
-    built (block offsets are append-only, hence stable) and make every
-    gather/scatter over the node a single fancy-index operation.
-    """
+    """A live supernode with its cached numeric state."""
 
     __slots__ = ("sid", "positions", "pattern", "l_a", "l_b", "c_update",
-                 "y", "v", "pos_idx", "pattern_idx", "pattern_arr",
-                 "positions_arr", "pos_starts")
+                 "y", "v")
 
     def __init__(self, sid: int, positions: List[int], pattern: List[int]):
         self.sid = sid
@@ -73,14 +44,9 @@ class _Node:
         self.c_update: Optional[np.ndarray] = None
         self.y: Optional[np.ndarray] = None
         self.v: Optional[np.ndarray] = None
-        self.pos_idx: Optional[np.ndarray] = None
-        self.pattern_idx: Optional[np.ndarray] = None
-        self.pattern_arr: Optional[np.ndarray] = None
-        self.positions_arr: Optional[np.ndarray] = None
-        self.pos_starts: Optional[np.ndarray] = None
 
 
-class IncrementalEngine:
+class SeedIncrementalEngine:
     """Incrementally maintained supernodal factorization of a factor graph.
 
     Parameters
@@ -105,7 +71,7 @@ class IncrementalEngine:
         self.pos_of: Dict[Key, int] = {}
         self.dims: List[int] = []
         self.theta = Values()
-        self.delta = BlockVector()
+        self.delta: List[np.ndarray] = []
         self.graph = FactorGraph()
 
         self._lin: Dict[int, FactorContribution] = {}
@@ -114,8 +80,8 @@ class IncrementalEngine:
         self._parent: List[int] = []
         self._children_pos: Dict[int, List[int]] = {}
         self._factors_at: Dict[int, List[int]] = {}
-        self._gradient = BlockVector()
-        self._carry = BlockVector()
+        self._gradient: List[np.ndarray] = []
+        self._carry: List[np.ndarray] = []
 
         self.nodes: Dict[int, _Node] = {}
         self.node_of: List[int] = []
@@ -153,34 +119,26 @@ class IncrementalEngine:
                 out[sid] = None
         return out
 
-    def delta_norm_array(self) -> np.ndarray:
-        """Per-position ``‖Δ_j‖∞`` (the RA-ISAM2 relevance scores), as
-        one vectorized reduction over the contiguous delta buffer."""
-        return self.delta.block_abs_max()
-
     def delta_norms(self) -> Dict[Key, float]:
         """Max-norm of the pending update per variable (relevance scores)."""
-        norms = self.delta_norm_array()
-        return {key: float(norms[p]) for p, key in enumerate(self.order)}
+        return {key: float(np.max(np.abs(self.delta[p]))) if
+                self.delta[p].size else 0.0
+                for p, key in enumerate(self.order)}
 
     def update(
         self,
         new_values: Dict[Key, object],
         new_factors: Sequence[Factor],
         relin_keys: Iterable[Key] = (),
-        trace: Optional[OpTrace] = None,
-        context: Optional[StepContext] = None,
+        trace: OpTrace = None,
     ) -> Dict[str, object]:
         """One incremental step.
 
         Adds variables and factors, relinearizes ``relin_keys`` (moving
         their linearization point to the current estimate), refactorizes
         the affected part of the tree and re-solves.  Returns work counters
-        plus the set of refactored supernode ids.  Phase counters and the
-        op trace accumulate on ``context`` (one is created from the legacy
-        ``trace`` argument when not supplied).
+        plus the set of refactored supernode ids.
         """
-        ctx = context if context is not None else StepContext(trace)
         affected: Set[int] = set()
         affected |= self._add_variables(new_values)
         affected |= self._add_factors(new_factors)
@@ -189,13 +147,8 @@ class IncrementalEngine:
 
         sym_affected = self._resolve_structure(affected)
         fresh = self._rebuild_supernodes(sym_affected)
-        self._refactorize(fresh, ctx)
-        self._back_substitute(fresh, ctx)
-
-        ctx.relin_variables += len(set(relin_keys))
-        ctx.relin_factors += relin_factors
-        ctx.symbolic += len(sym_affected)
-        ctx.numeric += len(fresh)
+        self._refactorize(fresh, trace)
+        self._back_substitute(fresh, trace)
 
         return {
             "relinearized_variables": len(set(relin_keys)),
@@ -220,12 +173,12 @@ class IncrementalEngine:
             self.pos_of[key] = pos
             self.dims.append(value.dim)
             self.theta.insert(key, value)
-            self.delta.append_block(value.dim)
+            self.delta.append(np.zeros(value.dim))
             self._a_struct.append(set())
             self._col_struct.append([])
             self._parent.append(-1)
-            self._gradient.append_block(value.dim)
-            self._carry.append_block(value.dim)
+            self._gradient.append(np.zeros(value.dim))
+            self._carry.append(np.zeros(value.dim))
             self.node_of.append(-1)
             affected.add(pos)
         return affected
@@ -252,7 +205,7 @@ class IncrementalEngine:
             pos = self.pos_of[key]
             self.theta.update(key, self.theta.at(key).retract(
                 self.delta[pos]))
-            self.delta.zero_block(pos)
+            self.delta[pos] = np.zeros(self.dims[pos])
             touched.add(pos)
             factor_set.update(self.graph.factors_of(key))
         for index in factor_set:
@@ -267,9 +220,11 @@ class IncrementalEngine:
 
     def _apply_gradient(self, contrib: FactorContribution,
                         sign: float) -> None:
-        self._gradient.scatter_add(
-            self._gradient.indices(contrib.positions), contrib.gradient,
-            sign)
+        cursor = 0
+        for p in contrib.positions:
+            d = self.dims[p]
+            self._gradient[p] += sign * contrib.gradient[cursor:cursor + d]
+            cursor += d
 
     # ------------------------------------------------------------------
     # phase D: incremental symbolic factorization
@@ -316,7 +271,7 @@ class IncrementalEngine:
             node = self.nodes.pop(sid)
             full.update(node.positions)
             if node.v is not None:
-                self._carry.scatter_add(node.pattern_idx, node.v, -1.0)
+                self._spread(node.pattern, node.v, sign=-1.0)
             for p in node.positions:
                 self.node_of[p] = -1
 
@@ -342,19 +297,15 @@ class IncrementalEngine:
                 self.nodes[current.sid] = current
                 fresh.append(current.sid)
             self.node_of[j] = current.sid
-        for sid in fresh:
-            self._cache_node_indices(self.nodes[sid])
         return fresh
 
-    def _cache_node_indices(self, node: _Node) -> None:
-        """Freeze the node's flat-index views of the block state."""
-        node.pos_idx = self.delta.indices(node.positions)
-        node.pattern_idx = self.delta.indices(node.pattern)
-        node.pattern_arr = np.asarray(node.pattern, dtype=np.intp)
-        node.positions_arr = np.asarray(node.positions, dtype=np.intp)
-        own_dims = [self.dims[p] for p in node.positions]
-        node.pos_starts = np.concatenate(
-            [[0], np.cumsum(own_dims[:-1])]).astype(np.intp)
+    def _spread(self, pattern: Sequence[int], vec: np.ndarray,
+                sign: float) -> None:
+        cursor = 0
+        for p in pattern:
+            d = self.dims[p]
+            self._carry[p] += sign * vec[cursor:cursor + d]
+            cursor += d
 
     # ------------------------------------------------------------------
     # phase G: numeric refactorization (bottom-up)
@@ -371,7 +322,7 @@ class IncrementalEngine:
                     out.append(self.nodes[sid])
         return out
 
-    def _refactorize(self, fresh: List[int], ctx: StepContext) -> None:
+    def _refactorize(self, fresh: List[int], trace: OpTrace) -> None:
         dims = self.dims
         fresh_nodes = sorted((self.nodes[sid] for sid in fresh),
                              key=lambda n: n.positions[0])
@@ -379,8 +330,9 @@ class IncrementalEngine:
             offsets, m, front_size = front_offsets(
                 node.positions, node.pattern, dims)
             front = np.zeros((front_size, front_size))
-            node_trace = ctx.node(node.sid, cols=m,
-                                  rows_below=front_size - m)
+            node_trace = (trace.node(node.sid, cols=m,
+                                     rows_below=front_size - m)
+                          if trace is not None else None)
             if node_trace is not None:
                 node_trace.record(OpKind.MEMSET, 4 * front_size * front_size)
 
@@ -411,15 +363,16 @@ class IncrementalEngine:
             l_a, l_b, c_update = factorize_front(front, m, node_trace)
             node.l_a, node.l_b, node.c_update = l_a, l_b, c_update
 
-            rhs = (self._gradient.gather(node.pos_idx)
-                   - self._carry.gather(node.pos_idx))
+            rhs = np.concatenate(
+                [self._gradient[p] - self._carry[p]
+                 for p in node.positions])
             node.y = scipy.linalg.solve_triangular(
                 l_a, rhs, lower=True, check_finite=False)
             if node_trace is not None:
                 node_trace.record(OpKind.TRSV, m)
             if node.pattern:
                 node.v = l_b @ node.y
-                self._carry.scatter_add(node.pattern_idx, node.v, 1.0)
+                self._spread(node.pattern, node.v, sign=1.0)
                 if node_trace is not None:
                     node_trace.record(OpKind.GEMV, node.v.size, m)
             else:
@@ -429,10 +382,9 @@ class IncrementalEngine:
     # phase H: wildfire back-substitution (top-down)
     # ------------------------------------------------------------------
 
-    def _back_substitute(self, fresh: List[int], ctx: StepContext) -> None:
+    def _back_substitute(self, fresh: List[int], trace: OpTrace) -> None:
         fresh_set = set(fresh)
         changed = np.zeros(self.num_positions)
-        delta_data = self.delta.data
         # Visit each node once, root side first: a node is processed when
         # the scan reaches its last position.
         for p in range(self.num_positions - 1, -1, -1):
@@ -442,28 +394,30 @@ class IncrementalEngine:
                 continue
             dirty = sid in fresh_set
             if not dirty and node.pattern:
-                dirty = bool(np.any(changed[node.pattern_arr]
-                                    > self.wildfire_tol))
+                dirty = any(changed[q] > self.wildfire_tol
+                            for q in node.pattern)
             if not dirty:
                 continue
-            ctx.backsub += 1
             rhs = node.y.copy()
             if node.pattern:
-                above = delta_data[node.pattern_idx]
+                above = np.concatenate(
+                    [self.delta[q] for q in node.pattern])
                 rhs -= node.l_b.T @ above
-                node_trace = ctx.node(sid)
-                if node_trace is not None:
-                    node_trace.record(OpKind.GEMV, rhs.size, above.size)
+                if trace is not None:
+                    trace.node(sid).record(OpKind.GEMV, rhs.size,
+                                           above.size)
             x = scipy.linalg.solve_triangular(
                 node.l_a, rhs, lower=True, trans="T", check_finite=False)
-            node_trace = ctx.node(sid)
-            if node_trace is not None:
-                node_trace.record(OpKind.TRSV, rhs.size)
-            if x.size:
-                diffs = np.abs(x - delta_data[node.pos_idx])
-                changed[node.positions_arr] = np.maximum.reduceat(
-                    diffs, node.pos_starts)
-                delta_data[node.pos_idx] = x
+            if trace is not None:
+                trace.node(sid).record(OpKind.TRSV, rhs.size)
+            cursor = 0
+            for q in node.positions:
+                d = self.dims[q]
+                new_delta = x[cursor:cursor + d]
+                diff = float(np.max(np.abs(new_delta - self.delta[q])))
+                changed[q] = diff
+                self.delta[q] = new_delta
+                cursor += d
 
     # ------------------------------------------------------------------
     # marginals
@@ -475,31 +429,36 @@ class IncrementalEngine:
         Does not touch the engine's state (deltas, carries); used for
         marginal covariance queries between updates.
         """
-        offsets = self.delta.offsets
-        total = self.delta.total_dim
-        flat = (np.concatenate([np.asarray(r, dtype=float) for r in rhs])
-                if len(rhs) else np.zeros(0))
-        carry = np.zeros(total)
+        dims = self.dims
+        carry = [np.zeros(d) for d in dims]
         y_store: Dict[int, np.ndarray] = {}
         ordered = sorted(self.nodes.values(), key=lambda n: n.positions[0])
         for node in ordered:
-            local = flat[node.pos_idx] - carry[node.pos_idx]
+            local = np.concatenate(
+                [rhs[p] - carry[p] for p in node.positions])
             y = scipy.linalg.solve_triangular(
                 node.l_a, local, lower=True, check_finite=False)
             y_store[node.sid] = y
             if node.pattern:
-                carry[node.pattern_idx] += node.l_b @ y
-        x = np.zeros(total)
+                spread = node.l_b @ y
+                cursor = 0
+                for p in node.pattern:
+                    carry[p] += spread[cursor:cursor + dims[p]]
+                    cursor += dims[p]
+        x: List[Optional[np.ndarray]] = [None] * self.num_positions
         for node in reversed(ordered):
-            local = y_store[node.sid]
+            local = y_store[node.sid].copy()
             if node.pattern:
-                local = local - node.l_b.T @ x[node.pattern_idx]
+                above = np.concatenate([x[p] for p in node.pattern])
+                local -= node.l_b.T @ above
             sol = scipy.linalg.solve_triangular(
                 node.l_a, local, lower=True, trans="T",
                 check_finite=False)
-            x[node.pos_idx] = sol
-        return [x[offsets[p]:offsets[p + 1]]
-                for p in range(self.num_positions)]
+            cursor = 0
+            for p in node.positions:
+                x[p] = sol[cursor:cursor + dims[p]]
+                cursor += dims[p]
+        return x
 
     def marginal_covariance(self, key: Key) -> np.ndarray:
         """Marginal covariance block of one variable (H^-1 diagonal
@@ -544,10 +503,6 @@ class IncrementalEngine:
         seen: Set[int] = set()
         for node in self.nodes.values():
             assert node.positions == sorted(node.positions)
-            np.testing.assert_array_equal(
-                node.pos_idx, self.delta.indices(node.positions))
-            np.testing.assert_array_equal(
-                node.pattern_idx, self.delta.indices(node.pattern))
             for p in node.positions:
                 assert p not in seen
                 seen.add(p)
@@ -555,7 +510,7 @@ class IncrementalEngine:
         assert seen == set(range(self.num_positions))
 
 
-class ISAM2:
+class SeedISAM2:
     """The "Incremental" baseline: ISAM2 with a fixed relinearization
     threshold and one Gauss-Newton step per backend iteration.
 
@@ -570,27 +525,29 @@ class ISAM2:
                  wildfire_tol: float = 1e-5, damping: float = 0.0,
                  max_supernode_vars: int = 8):
         self.relin_threshold = float(relin_threshold)
-        self.engine = IncrementalEngine(
+        self.engine = SeedIncrementalEngine(
             max_supernode_vars=max_supernode_vars,
             wildfire_tol=wildfire_tol, damping=damping)
         self._step = -1
 
     def update(self, new_values: Dict[Key, object],
                new_factors: Sequence[Factor],
-               trace: Optional[OpTrace] = None,
-               context: Optional[StepContext] = None) -> StepReport:
+               trace: OpTrace = None) -> StepReport:
         """Process one timestep of the online SLAM problem."""
         self._step += 1
-        ctx = context if context is not None else StepContext(trace)
-        norms = self.engine.delta_norm_array()
-        order = self.engine.order
-        relin = [order[p]
-                 for p in np.flatnonzero(norms > self.relin_threshold)]
+        relin = [key for key, score in self.engine.delta_norms().items()
+                 if score > self.relin_threshold]
         info = self.engine.update(new_values, new_factors, relin,
-                                  context=ctx)
-        return ctx.build_report(
-            self._step,
-            node_parents=self.engine.node_parents(info["fresh_sids"]))
+                                  trace=trace)
+        return StepReport(
+            step=self._step,
+            relinearized_variables=info["relinearized_variables"],
+            relinearized_factors=info["relinearized_factors"],
+            affected_columns=info["affected_columns"],
+            refactored_nodes=info["refactored_nodes"],
+            trace=trace,
+            node_parents=self.engine.node_parents(info["fresh_sids"]),
+        )
 
     def estimate(self) -> Values:
         return self.engine.estimate()

@@ -1,0 +1,153 @@
+"""Unit tests for the contiguous block-state container."""
+
+import numpy as np
+import pytest
+
+from repro.state import BlockVector
+
+
+class TestGrowth:
+    def test_empty(self):
+        bv = BlockVector()
+        assert bv.num_blocks == 0
+        assert bv.total_dim == 0
+        assert len(bv) == 0
+        assert list(bv) == []
+        assert bv.to_blocks() == []
+
+    def test_append_returns_position(self):
+        bv = BlockVector()
+        assert bv.append_block(3) == 0
+        assert bv.append_block(2) == 1
+        assert bv.num_blocks == 2
+        assert bv.total_dim == 5
+        assert bv.dim_of(0) == 3
+        assert bv.dim_of(1) == 2
+
+    def test_append_with_values(self):
+        bv = BlockVector()
+        bv.append_block(2, np.array([1.0, 2.0]))
+        bv.append_block(3)
+        np.testing.assert_array_equal(bv[0], [1.0, 2.0])
+        np.testing.assert_array_equal(bv[1], [0.0, 0.0, 0.0])
+
+    def test_growth_preserves_contents(self):
+        bv = BlockVector()
+        expected = []
+        rng = np.random.default_rng(0)
+        for i in range(200):
+            vals = rng.normal(size=1 + i % 4)
+            bv.append_block(len(vals), vals)
+            expected.append(vals)
+        for i, vals in enumerate(expected):
+            np.testing.assert_array_equal(bv[i], vals)
+        assert bv.total_dim == sum(len(v) for v in expected)
+
+    def test_data_is_contiguous_and_trimmed(self):
+        bv = BlockVector.from_blocks(
+            [np.ones(2), np.full(3, 2.0), np.full(1, 3.0)])
+        data = bv.data
+        assert data.shape == (6,)
+        np.testing.assert_array_equal(
+            data, [1.0, 1.0, 2.0, 2.0, 2.0, 3.0])
+
+    def test_zero_dim_block(self):
+        bv = BlockVector()
+        bv.append_block(2, np.ones(2))
+        bv.append_block(0)
+        bv.append_block(1, np.array([5.0]))
+        assert bv.dim_of(1) == 0
+        assert bv[1].shape == (0,)
+        np.testing.assert_array_equal(bv.block_abs_max(), [1.0, 0.0, 5.0])
+
+
+class TestSliceAliasing:
+    def test_getitem_is_a_view(self):
+        bv = BlockVector.from_blocks([np.zeros(3), np.zeros(2)])
+        view = bv[1]
+        view[:] = 7.0
+        np.testing.assert_array_equal(bv.data[3:], [7.0, 7.0])
+
+    def test_setitem_copies(self):
+        bv = BlockVector.from_blocks([np.zeros(2)])
+        src = np.array([1.0, 2.0])
+        bv[0] = src
+        src[:] = 9.0
+        np.testing.assert_array_equal(bv[0], [1.0, 2.0])
+
+    def test_negative_index(self):
+        bv = BlockVector.from_blocks([np.ones(1), np.full(2, 4.0)])
+        np.testing.assert_array_equal(bv[-1], [4.0, 4.0])
+
+    def test_views_survive_growth_reads_via_reindex(self):
+        # Views alias the buffer at the time of the call; after a
+        # growth-triggered reallocation, re-index to get a fresh view.
+        bv = BlockVector()
+        bv.append_block(2, np.array([1.0, 2.0]))
+        for _ in range(100):
+            bv.append_block(3)
+        np.testing.assert_array_equal(bv[0], [1.0, 2.0])
+
+    def test_zero_helpers(self):
+        bv = BlockVector.from_blocks([np.ones(2), np.ones(3)])
+        bv.zero_block(0)
+        np.testing.assert_array_equal(bv[0], [0.0, 0.0])
+        np.testing.assert_array_equal(bv[1], [1.0, 1.0, 1.0])
+        bv.zero_()
+        assert bv.abs_max() == 0.0
+
+
+class TestReductionsAndScatter:
+    def test_abs_max(self):
+        bv = BlockVector.from_blocks(
+            [np.array([1.0, -5.0]), np.array([2.0])])
+        assert bv.abs_max() == 5.0
+        assert BlockVector().abs_max() == 0.0
+
+    def test_block_abs_max_matches_per_block_norms(self):
+        rng = np.random.default_rng(1)
+        blocks = [rng.normal(size=rng.integers(1, 5)) for _ in range(50)]
+        bv = BlockVector.from_blocks(blocks)
+        expected = [float(np.max(np.abs(b))) for b in blocks]
+        np.testing.assert_allclose(bv.block_abs_max(), expected)
+
+    def test_indices_and_gather(self):
+        bv = BlockVector.from_blocks(
+            [np.array([1.0, 2.0]), np.array([3.0]), np.array([4.0, 5.0])])
+        idx = bv.indices([2, 0])
+        np.testing.assert_array_equal(idx, [3, 4, 0, 1])
+        np.testing.assert_array_equal(bv.gather(idx), [4.0, 5.0, 1.0, 2.0])
+
+    def test_scatter_add_accumulates_duplicates(self):
+        bv = BlockVector.from_blocks([np.zeros(2), np.zeros(1)])
+        idx = np.array([0, 0, 2], dtype=np.intp)
+        bv.scatter_add(idx, np.array([1.0, 2.0, 5.0]))
+        np.testing.assert_array_equal(bv.data, [3.0, 0.0, 5.0])
+
+    def test_scatter_add_sign(self):
+        bv = BlockVector.from_blocks([np.array([10.0, 10.0])])
+        bv.scatter_add(np.array([0, 1], dtype=np.intp),
+                       np.array([1.0, 2.0]), sign=-1.0)
+        np.testing.assert_array_equal(bv[0], [9.0, 8.0])
+
+    def test_scatter_then_grow_then_scatter(self):
+        bv = BlockVector()
+        bv.append_block(2)
+        bv.scatter_add(bv.indices([0]), np.array([1.0, 1.0]))
+        bv.append_block(2)
+        bv.scatter_add(bv.indices([1]), np.array([2.0, 2.0]))
+        np.testing.assert_array_equal(bv.data, [1.0, 1.0, 2.0, 2.0])
+
+
+class TestErrors:
+    def test_out_of_range(self):
+        bv = BlockVector.from_blocks([np.zeros(1)])
+        with pytest.raises(IndexError):
+            bv[1]
+        with pytest.raises(IndexError):
+            bv[-2]
+
+    def test_setitem_wrong_shape(self):
+        bv = BlockVector.from_blocks([np.zeros(2)])
+        with pytest.raises(ValueError):
+            bv[0] = np.zeros(3)

@@ -1,7 +1,6 @@
 """Tests for marginal covariance queries on the live incremental engine."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

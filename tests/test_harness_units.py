@@ -1,9 +1,8 @@
 """Unit tests for harness utilities that benchmarks rely on."""
 
-import numpy as np
 import pytest
 
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, sparkline
 from repro.experiments.design_space import (
     _area_estimate,
     design_space_table,
@@ -61,6 +60,35 @@ class TestTables:
             "deferred_fraction": 0.1, "final_rmse": 0.01}}
         table = scalability_table(results)
         assert "0.05" in table and "10.0%" in table
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == "(empty)"
+
+    def test_width_wider_than_series(self):
+        # With fewer values than columns, each value gets exactly one
+        # bucket — the line must not stretch, repeat or drop values.
+        values = [1.0, 10.0, 100.0]
+        line = sparkline(values, width=60)
+        assert len(line) == len(values)
+        # Monotone series maps to monotone glyph levels.
+        glyphs = " .:-=+*#%"
+        levels = [glyphs.index(ch) for ch in line]
+        assert levels == sorted(levels)
+        assert levels[0] < levels[-1]
+
+    def test_width_narrower_than_series_buckets_by_max(self):
+        values = [0.0] * 10 + [100.0] + [0.0] * 9
+        line = sparkline(values, width=5, log_scale=False)
+        assert len(line) <= 5
+        assert line.count("%") == 1  # the spike survives bucketing
+
+    def test_shared_bounds_make_lines_comparable(self):
+        low = sparkline([1.0, 1.0], bounds=(1.0, 100.0))
+        high = sparkline([100.0, 100.0], bounds=(1.0, 100.0))
+        assert set(low) == {" "}
+        assert set(high) == {"%"}
 
 
 class TestCliEdges:

@@ -195,7 +195,6 @@ class TestEngineEdgeCases:
 
 class TestExperimentScaling:
     def test_dataset_scale_env(self, monkeypatch):
-        import importlib
         from repro.experiments import common
         monkeypatch.setenv("REPRO_FULL", "1")
         assert common.dataset_scale("M3500") == 1.0

@@ -1,7 +1,5 @@
 """Tests for block symbolic factorization, etree, and supernodes."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,9 +1,8 @@
 """Tests for the runtime scheduler, cost model, and step executor."""
 
-import numpy as np
 import pytest
 
-from repro.hardware import boom_cpu, server_cpu, spatula_soc, supernova_soc
+from repro.hardware import boom_cpu, spatula_soc, supernova_soc
 from repro.linalg.trace import NodeTrace, Op, OpKind, OpTrace
 from repro.runtime import (
     NodeCostModel,

@@ -5,9 +5,6 @@ The RA-ISAM2 budget rests on ``synthesize_node_ops`` predicting what
 the two op streams on real supernodes.
 """
 
-import numpy as np
-import pytest
-
 from repro.factorgraph import BetweenFactorSE2, IsotropicNoise, \
     PriorFactorSE2
 from repro.geometry import SE2
