@@ -13,6 +13,7 @@ Each step:
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Optional, Sequence, Set
 
 from repro.core.budget import StepBudget
@@ -68,7 +69,7 @@ class RAISAM2:
         self.score_floor = float(score_floor)
         self.safety = float(safety)
         self.selection_policy = selection_policy
-        self._selection_rng = __import__("random").Random(selection_seed)
+        self._selection_rng = random.Random(selection_seed)
         self.energy_budget_joules = energy_budget_joules
         self.power_model = power_model or PowerModel()
         self.engine = IncrementalEngine(

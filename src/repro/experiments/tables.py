@@ -133,7 +133,14 @@ def table5_rows() -> List[List[str]]:
 
 
 def power_analysis(name: str = "CAB1") -> Dict[str, float]:
-    """Section 6.5: peak power and per-run energy of SuperNoVA."""
+    """Section 6.5: peak power and per-run energy of SuperNoVA.
+
+    Per-op energy runs through the vectorized pricing path: COMP and MEM
+    ``price_ops`` both return 0.0 on the rows they do not execute, so
+    their sum prices every op exactly once (ops neither tile supports —
+    impossible on SuperNoVA — contribute nothing, matching the scalar
+    loop's ``continue``).
+    """
     model = PowerModel()
     soc = supernova_soc(2)
     run = isam2_run(name)
@@ -142,14 +149,8 @@ def power_analysis(name: str = "CAB1") -> Dict[str, float]:
         if report.trace is None:
             continue
         for node in report.trace.nodes.values():
-            for op in node.ops:
-                if soc.comp.supports(op):
-                    cycles = soc.comp.op_cycles(op)
-                elif op.is_memory_op:
-                    cycles = soc.mem.op_cycles(op)
-                else:
-                    continue
-                energy += model.op_energy(op, cycles)
+            cycles = soc.comp.price_ops(node) + soc.mem.price_ops(node)
+            energy += model.columnar_energy(node, cycles)
     return {
         "peak_watts": SUPERNOVA_PEAK_W,
         "peak_op": model.peak_op_kind().value,

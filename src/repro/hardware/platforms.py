@@ -1,18 +1,43 @@
 """Platform cycle models.
 
-All models implement ``op_cycles(op) -> float`` over the trace vocabulary
-of :class:`repro.linalg.trace.OpKind`.  Parameters are stated per model;
-`EXPERIMENTS.md` records how the resulting latency ratios line up with the
-paper's Figure 8.
+All models implement two equivalent pricing paths over the trace
+vocabulary of :class:`repro.linalg.trace.OpKind`:
+
+* ``op_cycles(op) -> float`` — the scalar per-op reference, and
+* ``price_ops(trace) -> np.ndarray`` — the vectorized path over a
+  columnar :class:`~repro.linalg.trace.NodeTrace`, one cycle count per
+  recorded op, bit-identical to calling ``op_cycles`` row by row
+  (``tests/test_pricing_equivalence.py`` pins the two together).
+
+Accelerators price only the ops they support; ``price_ops`` returns 0.0
+on unsupported rows and ``supports_mask(trace)`` says which rows those
+are (the scalar ``op_cycles`` raises instead).  ``pricing_key``
+summarizes every parameter that affects pricing, so per-node lane totals
+can be memoized across repeated repricings of the same trace
+(:func:`repro.runtime.scheduler.node_cycles`).
+
+Parameters are stated per model; `EXPERIMENTS.md` records how the
+resulting latency ratios line up with the paper's Figure 8.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
-from repro.linalg.trace import Op, OpKind
+import numpy as np
+
+from repro.linalg.trace import (
+    GEMM_CODE,
+    SCATTER_CODE,
+    SYRK_CODE,
+    KIND_CODE,
+    KINDS,
+    NodeTrace,
+    Op,
+    OpKind,
+)
 
 
 class CpuModel:
@@ -52,6 +77,7 @@ class CpuModel:
         self.relin_cycles_per_factor = float(relin_cycles_per_factor)
         self.symbolic_cycles_per_column = float(symbolic_cycles_per_column)
         self.small_matrix_penalty = float(small_matrix_penalty)
+        self._pricing_key_cache: Optional[Tuple] = None
 
     def _throughput(self, op: Op) -> float:
         """Effective flops/cycle accounting for small-op startup."""
@@ -69,6 +95,47 @@ class CpuModel:
             return self.call_overhead + rows * cols / \
                 self.scatter_elems_per_cycle
         return self.call_overhead + op.flops / self._throughput(op)
+
+    def _throughput_array(self, trace: NodeTrace) -> np.ndarray:
+        """Vectorized :meth:`_throughput` (one value per op)."""
+        inner = trace.inner_dims()
+        ramp = inner / (inner + self.small_matrix_penalty)
+        return np.maximum(self.flops_per_cycle * ramp, 0.25)
+
+    def price_ops(self, trace: NodeTrace) -> np.ndarray:
+        """Per-op cycles for a whole trace (vectorized ``op_cycles``)."""
+        cycles = self.call_overhead \
+            + trace.flops_array() / self._throughput_array(trace)
+        codes = trace.kind_codes()
+        dims = trace.dims_matrix()
+        scatter = codes == SCATTER_CODE
+        if scatter.any():
+            cycles[scatter] = self.call_overhead \
+                + dims[scatter, 0] * dims[scatter, 1] \
+                / self.scatter_elems_per_cycle
+        memory = trace.memory_mask()
+        if memory.any():
+            cycles[memory] = self.call_overhead \
+                + trace.bytes_array()[memory] / self.mem_bytes_per_cycle
+        return cycles
+
+    def _build_pricing_key(self) -> Tuple:
+        return (type(self).__name__, self.name, self.flops_per_cycle,
+                self.mem_bytes_per_cycle, self.call_overhead,
+                self.scatter_elems_per_cycle, self.small_matrix_penalty)
+
+    @property
+    def pricing_key(self) -> Tuple:
+        """Hashable summary of every parameter ``price_ops`` reads.
+
+        Built once and cached: model parameters are treated as immutable
+        after construction (the platform factories always build fresh
+        instances).
+        """
+        key = self._pricing_key_cache
+        if key is None:
+            key = self._pricing_key_cache = self._build_pricing_key()
+        return key
 
     def relin_cycles(self, num_factors: int) -> float:
         return self.relin_cycles_per_factor * num_factors
@@ -107,6 +174,19 @@ class GpuModel(CpuModel):
         occupancy = min(1.0, work_items / self.occupancy_saturation)
         return max(self.flops_per_cycle * occupancy, 1.0)
 
+    def _throughput_array(self, trace: NodeTrace) -> np.ndarray:
+        codes = trace.kind_codes()
+        dims = trace.dims_matrix()
+        work_items = dims[:, 0].astype(np.float64)
+        planar = (codes == GEMM_CODE) | (codes == SYRK_CODE)
+        if planar.any():
+            work_items[planar] = dims[planar, 0] * dims[planar, 1]
+        occupancy = np.minimum(1.0, work_items / self.occupancy_saturation)
+        return np.maximum(self.flops_per_cycle * occupancy, 1.0)
+
+    def _build_pricing_key(self) -> Tuple:
+        return super()._build_pricing_key() + (self.occupancy_saturation,)
+
 
 @dataclass
 class ComputeAccelerator:
@@ -139,6 +219,11 @@ class ComputeAccelerator:
         OpKind.TRSV: 0.40,
         OpKind.GEMV: 0.50,
     })
+    # Lazy caches; parameters are treated as immutable after construction.
+    _denom_by_code: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False)
+    _pricing_key_cache: Optional[Tuple] = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def macs_per_cycle(self) -> float:
@@ -167,6 +252,63 @@ class ComputeAccelerator:
         if op.kind is OpKind.SCATTER_ADD:
             return self.has_siu
         return not op.is_memory_op
+
+    def supports_mask(self, trace: NodeTrace) -> np.ndarray:
+        """Boolean column: ops this COMP tile can execute (read-only:
+        the SIU case shares the trace's cached compute mask)."""
+        supported = trace.compute_mask()
+        if not self.has_siu:
+            supported = supported & (trace.kind_codes() != SCATTER_CODE)
+        return supported
+
+    def _denominators(self) -> np.ndarray:
+        """``2 * macs_per_cycle * efficiency`` per kind code (NaN where
+        the kind has no efficiency entry, so a missing kind prices to NaN
+        — as loudly wrong as the scalar path's ``KeyError``)."""
+        denom = self._denom_by_code
+        if denom is None:
+            eff = np.full(len(KINDS), np.nan)
+            for kind, value in self.kind_efficiency.items():
+                eff[KIND_CODE[kind]] = value
+            denom = (2.0 * self.macs_per_cycle) * eff
+            self._denom_by_code = denom
+        return denom
+
+    def price_ops(self, trace: NodeTrace) -> np.ndarray:
+        """Per-op cycles, 0.0 on rows :meth:`supports_mask` excludes."""
+        codes = trace.kind_codes()
+        dims = trace.dims_matrix()
+        tiles = np.maximum(1.0, dims[:, 0] / self.systolic_dim)
+        # NaN denominators propagate silently (finite / NaN -> NaN): no
+        # errstate guard needed.
+        cycles = (self.rocc_overhead
+                  + trace.flops_array() / self._denominators()[codes]
+                  + self.pipeline_depth * tiles)
+        scatter = codes == SCATTER_CODE
+        if scatter.any():
+            if self.has_siu:
+                sd = dims[scatter]
+                rows, cols = sd[:, 0], sd[:, 1]
+                packed_calls = np.maximum(1.0, rows / self.systolic_dim)
+                cycles[scatter] = (self.rocc_overhead
+                                   + packed_calls
+                                   + rows * cols / self.siu_elems_per_cycle)
+            else:
+                cycles[scatter] = 0.0
+        cycles[trace.memory_mask()] = 0.0
+        return cycles
+
+    @property
+    def pricing_key(self) -> Tuple:
+        key = self._pricing_key_cache
+        if key is None:
+            key = self._pricing_key_cache = (
+                "COMP", self.systolic_dim, self.rocc_overhead,
+                self.pipeline_depth, self.has_siu,
+                self.siu_elems_per_cycle,
+                tuple(sorted((kind.value, eff) for kind, eff
+                             in self.kind_efficiency.items())))
+        return key
 
     # -- explicit tiled model ------------------------------------------
 
@@ -250,6 +392,21 @@ class MemoryAccelerator:
     def supports(self, op: Op) -> bool:
         return op.is_memory_op
 
+    def supports_mask(self, trace: NodeTrace) -> np.ndarray:
+        return trace.memory_mask()
+
+    def price_ops(self, trace: NodeTrace) -> np.ndarray:
+        """Per-op cycles, 0.0 on non-memory rows."""
+        memory = trace.memory_mask()
+        cycles = np.zeros(len(memory), dtype=np.float64)
+        cycles[memory] = self.setup_overhead \
+            + trace.bytes_array()[memory] / self.bytes_per_cycle
+        return cycles
+
+    @property
+    def pricing_key(self) -> Tuple:
+        return ("MEM", self.bytes_per_cycle, self.setup_overhead)
+
 
 @dataclass
 class SoCConfig:
@@ -269,6 +426,8 @@ class SoCConfig:
     llc_bytes: int = 4 * 1024 * 1024
     dram_bytes_per_cycle: float = 64.0
     frequency_hz: float = 1.0e9
+    _pricing_key_cache: Optional[Tuple] = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def has_accelerators(self) -> bool:
@@ -277,6 +436,27 @@ class SoCConfig:
     @property
     def offloads_memory_ops(self) -> bool:
         return self.has_accelerators and self.mem is not None
+
+    @property
+    def pricing_key(self) -> Tuple:
+        """Everything that determines how this SoC prices a single op.
+
+        Two SoCs with equal keys produce identical per-node lane totals,
+        so :func:`repro.runtime.scheduler.node_cycles` can reuse cached
+        totals across the fresh-but-identical configs the platform
+        factories return (``supernova_soc(2)`` per call site).  Set
+        counts / LLC size / DRAM bandwidth affect scheduling, not per-op
+        pricing, and are deliberately excluded.  Built once and cached:
+        the platform models are treated as immutable after construction.
+        """
+        key = self._pricing_key_cache
+        if key is None:
+            key = self._pricing_key_cache = (
+                self.host.pricing_key,
+                self.has_accelerators,
+                self.comp.pricing_key if self.has_accelerators else None,
+                self.mem.pricing_key if self.offloads_memory_ops else None)
+        return key
 
     def seconds(self, cycles: float) -> float:
         return cycles / self.frequency_hz

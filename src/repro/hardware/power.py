@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
-from repro.linalg.trace import Op, OpKind
+import numpy as np
+
+from repro.linalg.trace import KINDS, NodeTrace, Op, OpKind
 
 # Reported peak (SYRK keeps the systolic array and accumulators busiest).
 SUPERNOVA_PEAK_W = 0.114
@@ -32,6 +34,9 @@ _ACTIVITY: Dict[OpKind, float] = {
 }
 
 _IDLE_FRACTION = 0.10  # clock tree + leakage when an op kind is idle
+
+# Columnar twin of _ACTIVITY, indexed by the trace layer's kind codes.
+_ACTIVITY_BY_CODE = np.array([_ACTIVITY.get(kind, 0.3) for kind in KINDS])
 
 
 class PowerModel:
@@ -64,6 +69,23 @@ class PowerModel:
         """Total energy for (op, cycles) pairs."""
         return sum(self.op_energy(op, cycles)
                    for op, cycles in ops_with_cycles)
+
+    def op_powers(self, trace: NodeTrace) -> np.ndarray:
+        """Vectorized :meth:`op_power`: average power (W) per traced op."""
+        activity = _ACTIVITY_BY_CODE[trace.kind_codes()]
+        return self.peak_watts * (
+            _IDLE_FRACTION + (1.0 - _IDLE_FRACTION) * activity)
+
+    def columnar_energy(self, trace: NodeTrace,
+                        cycles: np.ndarray) -> float:
+        """Energy (J) of one node trace given per-op cycle counts.
+
+        The vectorized twin of summing :meth:`op_energy` over
+        ``zip(trace.ops, cycles)``; ``cycles`` is a platform model's
+        ``price_ops(trace)`` output (zero rows contribute nothing).
+        """
+        return float(np.dot(self.op_powers(trace), cycles)
+                     / self.frequency_hz)
 
     def peak_op_kind(self) -> OpKind:
         return max(_ACTIVITY, key=_ACTIVITY.get)

@@ -16,6 +16,7 @@ from repro.runtime.scheduler import (
     RuntimeFeatures,
     SimResult,
     node_cycles,
+    node_duration,
     sequential_cycles,
     simulate_tree,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "RuntimeFeatures",
     "SimResult",
     "node_cycles",
+    "node_duration",
     "sequential_cycles",
     "simulate_tree",
     "NodeCostModel",

@@ -8,12 +8,12 @@ sequence the node *would* execute and pricing it on the platform models.
 
 from __future__ import annotations
 
-
+from typing import Dict, Tuple
 
 from repro.hardware.platforms import SoCConfig
-from repro.linalg.trace import NodeTrace, Op, OpKind
-from repro.runtime.scheduler import RuntimeFeatures, _node_duration, \
-    node_cycles
+from repro.linalg.trace import NodeTrace, OpKind
+from repro.runtime.scheduler import RuntimeFeatures, node_cycles, \
+    node_duration
 
 
 def synthesize_node_ops(m: int, n_below: int, num_factors: int,
@@ -68,14 +68,26 @@ class NodeCostModel:
         self.soc = soc
         self.features = features
         self.parallel_efficiency = float(parallel_efficiency)
+        # (m, n_below, num_factors) -> seconds.  The RA-ISAM2 selection
+        # pass estimates hundreds of candidate nodes per step and node
+        # dimensions repeat heavily across steps; synthesizing + pricing
+        # the op sequence once per distinct shape makes the selection
+        # pass O(lookup) on the common path.
+        self._node_seconds: Dict[Tuple[int, int, int], float] = {}
 
     def node_seconds(self, m: int, n_below: int,
                      num_factors: int) -> float:
         """Wall time for one supernode on one accelerator set."""
+        key = (int(m), int(n_below), int(num_factors))
+        cached = self._node_seconds.get(key)
+        if cached is not None:
+            return cached
         trace = synthesize_node_ops(m, n_below, num_factors)
         comp, mem, host = node_cycles(trace, self.soc, self.features)
-        cycles = _node_duration(comp, mem, host, 1, self.features)
-        return self.soc.seconds(cycles)
+        cycles = node_duration(comp, mem, host, 1, self.features)
+        seconds = self.soc.seconds(cycles)
+        self._node_seconds[key] = seconds
+        return seconds
 
     def step_speedup(self) -> float:
         """Assumed speedup of the scheduled step over serial node time."""

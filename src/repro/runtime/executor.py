@@ -49,6 +49,14 @@ class StepLatency:
         }
 
 
+def _loose_cycles(trace, soc: SoCConfig) -> float:
+    """Host-lane cycles of a step's loose (non-supernode) ops."""
+    loose = trace.loose
+    if loose.num_ops == 0:
+        return 0.0
+    return float(sum(soc.host.price_ops(loose).tolist(), 0.0))
+
+
 def execute_step(
     report: StepReport,
     soc: SoCConfig,
@@ -85,11 +93,16 @@ def execute_step(
     elif soc.has_accelerators:
         result: SimResult = simulate_tree(
             report.trace.nodes, parents or {}, soc, features)
-        numeric = soc.seconds(result.makespan_cycles)
+        # Loose ops (solve sweeps outside any supernode) run on the host
+        # tile and serialize with the schedule.  They used to be priced
+        # only on the no-accelerator branch and silently dropped here;
+        # see EXPERIMENTS.md ("loose-op pricing fix") for the delta.
+        cycles = result.makespan_cycles + _loose_cycles(report.trace, soc)
+        numeric = soc.seconds(cycles)
         utilization = result.utilization
     else:
         cycles = sequential_cycles(list(report.trace.nodes.values()), soc)
-        cycles += sum(host.op_cycles(op) for op in report.trace.loose.ops)
+        cycles += _loose_cycles(report.trace, soc)
         numeric = host.seconds(cycles)
 
     return StepLatency(
