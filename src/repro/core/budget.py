@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.validate import current_auditor
+
 
 class StepBudget:
     """Tracks remaining per-step budget during greedy selection.
@@ -34,6 +36,14 @@ class StepBudget:
                                  if energy_budget_joules is not None
                                  else None)
 
+    @property
+    def exhausted(self) -> bool:
+        """Nothing left — optional work must not be admitted anymore."""
+        if self.remaining <= 0.0:
+            return True
+        return (self.energy_remaining is not None
+                and self.energy_remaining <= 0.0)
+
     def charge_mandatory(self, seconds: float,
                          joules: float = 0.0) -> None:
         """Deduct unavoidable work (may drive the budget negative)."""
@@ -42,7 +52,14 @@ class StepBudget:
             self.energy_remaining -= joules
 
     def admits(self, seconds: float, joules: float = 0.0) -> bool:
-        """Would this optional work still fit?"""
+        """Would this optional work still fit?
+
+        An exhausted budget admits nothing: mandatory work can drive
+        ``remaining`` negative, and ``seconds > remaining`` alone would
+        then still admit zero-cost work.
+        """
+        if self.exhausted:
+            return False
         if seconds > self.remaining:
             return False
         if self.energy_remaining is not None and \
@@ -52,8 +69,19 @@ class StepBudget:
 
     def charge(self, seconds: float, joules: float = 0.0) -> bool:
         """Charge optional work if it fits; returns whether it did."""
+        aud = current_auditor()
+        was_exhausted = self.exhausted if aud is not None else False
         if not self.admits(seconds, joules):
             return False
+        if aud is not None:
+            # Independent of admits(): if that guard regresses, the
+            # auditor still sees optional work land after exhaustion.
+            aud.record("budget-charge", seconds=seconds, joules=joules,
+                       remaining=self.remaining)
+            aud.check(not was_exhausted, "budget-no-admit-after-exhausted",
+                      "optional work admitted on an exhausted budget",
+                      seconds=seconds, remaining=self.remaining,
+                      energy_remaining=self.energy_remaining)
         self.remaining -= seconds
         if self.energy_remaining is not None:
             self.energy_remaining -= joules

@@ -107,7 +107,12 @@ class RAISAM2:
         # Greedy selection, ranked by the configured policy.
         candidates = relevance_scores(self.engine, self.score_floor)
         if self.selection_policy == "fifo":
-            candidates = sorted(candidates, key=lambda pair: pair[1])
+            # Oldest-first means engine insertion order.  Sorting by the
+            # Key itself interleaved namespaces instead (e.g. offset
+            # landmark keys sort between poses regardless of age).
+            candidates = sorted(
+                candidates,
+                key=lambda pair: self.engine.pos_of[pair[1]])
         elif self.selection_policy == "random":
             candidates = list(candidates)
             self._selection_rng.shuffle(candidates)

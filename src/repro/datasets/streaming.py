@@ -45,11 +45,17 @@ def run_online(
     error_every:
         Evaluate trajectory error every k steps (errors are O(trajectory)
         per evaluation).
+    max_steps:
+        ``None`` streams the whole dataset; ``0`` streams nothing
+        (guarded here as in :meth:`BackendPipeline.run` — a truthiness
+        test used to make 0 mean "everything"); negative is rejected.
     reference:
         Optional per-step reference estimates (paper Section 5.3: the
         trajectory re-optimized to convergence at each step).  Ground
         truth is used when omitted.
     """
+    if max_steps is not None and max_steps < 0:
+        raise ValueError(f"max_steps must be >= 0, got {max_steps}")
     stages = []
     if soc is not None:
         stages.append(PricingStage(soc, features))

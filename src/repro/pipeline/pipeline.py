@@ -21,6 +21,7 @@ from repro.metrics.ape import irmse, translation_errors
 from repro.runtime.executor import StepLatency, execute_step
 from repro.runtime.scheduler import RuntimeFeatures
 from repro.solvers.base import StepReport
+from repro.validate import current_auditor
 
 if TYPE_CHECKING:
     from repro.datasets.pose_graph import PoseGraphDataset
@@ -147,11 +148,19 @@ class BackendPipeline:
 
     def run(self, dataset: "PoseGraphDataset",
             max_steps: Optional[int] = None) -> OnlineRun:
-        """Stream the dataset through the solver step by step."""
+        """Stream the dataset through the solver step by step.
+
+        ``max_steps=None`` runs the whole dataset; ``max_steps=0`` runs
+        nothing (it used to be truthiness-tested and silently ran
+        everything); negative values are rejected.
+        """
+        if max_steps is not None and max_steps < 0:
+            raise ValueError(f"max_steps must be >= 0, got {max_steps}")
         self.dataset = dataset
         run = OnlineRun(dataset=dataset.name,
                         solver=type(self.solver).__name__)
-        steps = dataset.steps[:max_steps] if max_steps else dataset.steps
+        steps = dataset.steps if max_steps is None \
+            else dataset.steps[:max_steps]
         last = len(steps) - 1
         for index, step in enumerate(steps):
             ctx = StepContext(
@@ -164,7 +173,31 @@ class BackendPipeline:
                 stage.on_step(self, ctx, report, run)
         for stage in self.stages:
             stage.finish(self, run)
+        aud = current_auditor()
+        if aud is not None:
+            self._audit_run(aud, run, len(steps))
         return run
+
+    def _audit_run(self, aud, run: OnlineRun, num_steps: int) -> None:
+        """Per-run accounting invariants (audit mode only)."""
+        aud.record("pipeline-run", dataset=run.dataset,
+                   solver=run.solver, steps=num_steps)
+        aud.check(len(run.reports) == num_steps, "pipeline-reports",
+                  "one report per processed step",
+                  reports=len(run.reports), steps=num_steps)
+        step_ids = [r.step for r in run.reports]
+        aud.check(step_ids == sorted(set(step_ids)), "pipeline-reports",
+                  "report step ids must be strictly increasing",
+                  steps=step_ids[:16])
+        if any(isinstance(s, PricingStage) for s in self.stages):
+            aud.check(len(run.latencies) == num_steps,
+                      "pipeline-latencies",
+                      "one priced latency per processed step",
+                      latencies=len(run.latencies), steps=num_steps)
+            bad = [lat.total for lat in run.latencies
+                   if not lat.total >= 0.0]
+            aud.check(not bad, "pipeline-latencies",
+                      "negative per-step latency", bad=bad[:8])
 
 
 def reprice_run(run: OnlineRun, soc: SoCConfig,

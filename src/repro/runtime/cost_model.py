@@ -14,6 +14,7 @@ from repro.hardware.platforms import SoCConfig
 from repro.linalg.trace import NodeTrace, OpKind
 from repro.runtime.scheduler import RuntimeFeatures, node_cycles, \
     node_duration
+from repro.validate import current_auditor
 
 
 def synthesize_node_ops(m: int, n_below: int, num_factors: int,
@@ -80,12 +81,26 @@ class NodeCostModel:
         """Wall time for one supernode on one accelerator set."""
         key = (int(m), int(n_below), int(num_factors))
         cached = self._node_seconds.get(key)
-        if cached is not None:
+        aud = current_auditor()
+        if cached is not None and aud is None:
             return cached
         trace = synthesize_node_ops(m, n_below, num_factors)
         comp, mem, host = node_cycles(trace, self.soc, self.features)
         cycles = node_duration(comp, mem, host, 1, self.features)
         seconds = self.soc.seconds(cycles)
+        if aud is not None:
+            # RA-ISAM2's budget decisions are only as honest as this
+            # memo: a stale/corrupt entry silently re-prices every
+            # selection pass that hits it.
+            aud.check(comp >= 0.0 and mem >= 0.0 and host >= 0.0
+                      and seconds >= 0.0, "cost-nonneg",
+                      "negative node cost", key=key, comp=comp,
+                      mem=mem, host=host, seconds=seconds)
+            if cached is not None:
+                aud.check_close(cached, seconds, "cost-memo-consistent",
+                                "memoized node cost diverged from a "
+                                "fresh pricing", key=key)
+                return cached
         self._node_seconds[key] = seconds
         return seconds
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.hardware.platforms import SoCConfig
 from repro.linalg.trace import NodeTrace, concat_node_traces
 from repro.runtime.virtualization import AcceleratorPool
+from repro.validate import current_auditor
 
 
 @dataclass(frozen=True)
@@ -44,7 +45,14 @@ class RuntimeFeatures:
 
 @dataclass
 class SimResult:
-    """Outcome of one scheduled step."""
+    """Outcome of one scheduled step.
+
+    ``llc_rejections`` counts *blocked nodes per admission event*: each
+    time the admission scan stalls on the cache-thrashing guard, every
+    distinct ready node whose workspace did not fit the free LLC counts
+    once.  (It used to count failed scans — one pass over three blocked
+    nodes counted 1.)
+    """
 
     makespan_cycles: float
     busy_cycles_per_set: List[float]
@@ -211,6 +219,13 @@ def simulate_tree(
     tie = itertools.count()
     llc_rejections = 0
 
+    # Conservation auditing (repro.validate): fetched once per call; a
+    # plain None means every audit block below is a single skipped test.
+    aud = current_auditor()
+    llc_capacity = float(soc.llc_bytes)
+    priced: Dict[int, List[float]] = {}   # sid -> [comp, mem, host+binds]
+    completed = 0
+
     def dram_factor() -> float:
         """Memory slowdown when concurrent MEM tiles exceed DRAM supply.
 
@@ -261,9 +276,24 @@ def simulate_tree(
                     running[sid] = job
                     llc_free -= workspace
                     progressed = True
+                    if aud is not None:
+                        priced[sid] = [comp, mem, host + bind]
+                        aud.record("admit", sid=sid, now=now,
+                                   workspace=workspace, llc_free=llc_free)
+                        aud.check(llc_free <= llc_capacity,
+                                  "llc-capacity",
+                                  "free LLC exceeds capacity after admit",
+                                  sid=sid, llc_free=llc_free,
+                                  capacity=llc_capacity)
                     break
             else:
-                llc_rejections += 1
+                # The scan stalled: with a set free, every ready node is
+                # blocked by the LLC guard.  Count each blocked node once
+                # per admission event (not once per scan).
+                llc_rejections += len(ready)
+                if aud is not None:
+                    aud.record("llc-blocked", now=now, blocked=len(ready),
+                               llc_free=llc_free)
 
         # Idle sets join the running node with the most remaining compute.
         if (features.intra_node and pool.available() > 0 and running
@@ -275,6 +305,13 @@ def simulate_tree(
                                              target.sid, now)
                 target.sets += len(granted)
                 target.host_left += bind
+                if aud is not None:
+                    priced[target.sid][2] += bind
+                    aud.record("join", sid=target.sid, now=now,
+                               granted=len(granted), sets=target.sets)
+                    aud.check_nonneg(target.comp_left, "lane-nonneg",
+                                     "negative compute remainder at join",
+                                     sid=target.sid, lane="comp")
 
         if not running:
             break
@@ -287,17 +324,75 @@ def simulate_tree(
         for other in running.values():
             advance(other, finish, mem_rate)
         now = finish
+        if aud is not None:
+            # Every lane remainder was clamped at zero by ``advance``; a
+            # negative means a lost clamp, not rounding (exact check).
+            for other in running.values():
+                aud.check_nonneg(other.comp_left, "lane-nonneg",
+                                 "negative compute remainder",
+                                 sid=other.sid, lane="comp")
+                aud.check_nonneg(other.mem_left, "lane-nonneg",
+                                 "negative memory remainder",
+                                 sid=other.sid, lane="mem")
+                aud.check_nonneg(other.host_left, "lane-nonneg",
+                                 "negative host remainder",
+                                 sid=other.sid, lane="host")
+            # The completing node must have consumed exactly what pricing
+            # charged it: zero remainder in every lane, up to the float
+            # rounding of the completion-time solve.
+            done = running[sid]
+            comp0, mem0, host0 = priced[sid]
+            aud.record("complete", sid=sid, now=now,
+                       priced_comp=comp0, priced_mem=mem0,
+                       priced_host=host0)
+            aud.check_close(comp0 - done.comp_left, comp0,
+                            "lane-conservation",
+                            "consumed compute != priced compute",
+                            sid=sid, lane="comp")
+            aud.check_close(mem0 - done.mem_left, mem0,
+                            "lane-conservation",
+                            "consumed memory != priced memory",
+                            sid=sid, lane="mem")
+            aud.check_close(host0 - done.host_left, host0,
+                            "lane-conservation",
+                            "consumed host != priced host",
+                            sid=sid, lane="host")
+            completed += 1
         del running[sid]
         pool.release_owned_by(sid, now)
         llc_free += traces[sid].workspace_bytes
+        if aud is not None:
+            aud.record("release", sid=sid, now=now, llc_free=llc_free)
+            aud.check(llc_free <= llc_capacity, "llc-capacity",
+                      "free LLC exceeds capacity after restore",
+                      sid=sid, llc_free=llc_free, capacity=llc_capacity)
         parent = parents.get(sid)
         if parent is not None and parent in pending:
             pending[parent] -= 1
             if pending[parent] == 0:
                 ready.append(parent)
 
+    if aud is not None:
+        aud.check(completed == len(traces), "all-nodes-processed",
+                  "scheduler ended with unprocessed nodes",
+                  completed=completed, total=len(traces))
+        aud.check(not ready, "all-nodes-processed",
+                  "scheduler ended with nodes still ready",
+                  ready=list(ready))
+        stuck = {s: n for s, n in pending.items() if n != 0}
+        aud.check(not stuck, "pending-children-zero",
+                  "pending-children counts did not drain to zero",
+                  stuck=stuck)
+        aud.check(llc_free == llc_capacity, "llc-restored",
+                  "free LLC not exactly restored at drain",
+                  llc_free=llc_free, capacity=llc_capacity)
+        aud.check(pool.available() == total_sets, "sets-released",
+                  "accelerator sets still bound at drain",
+                  available=pool.available(), total=total_sets)
     pool.drain(now)
     busy = pool.busy_cycles()
+    if aud is not None:
+        pool.audit_verify(aud, makespan=now)
 
     return SimResult(
         makespan_cycles=now,

@@ -10,7 +10,10 @@ scheduler reports utilization.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.validate import Auditor
 
 
 @dataclass
@@ -95,3 +98,35 @@ class AcceleratorPool:
             if acc.owner is not None:
                 acc.busy_intervals.append((acc._acquired_at, now))
                 acc.owner = None
+
+    def audit_verify(self, aud: "Auditor",
+                     makespan: Optional[float] = None) -> None:
+        """Check the pool's interval bookkeeping against an auditor.
+
+        Invariants: every set is unbound, every recorded busy interval
+        is well-formed (``0 <= start <= end``), intervals on one
+        physical set never overlap, and — when ``makespan`` is given —
+        no set was bound for longer than the whole schedule ran.
+        """
+        tol = aud.rtol * max(1.0, abs(makespan or 0.0))
+        for acc in self.accelerators:
+            aud.check(acc.owner is None, "sets-released",
+                      "accelerator still owned after drain",
+                      accelerator=acc.index, owner=acc.owner)
+            previous_end = 0.0
+            busy = 0.0
+            for start, end in acc.busy_intervals:
+                aud.check(0.0 <= start <= end + tol, "busy-intervals",
+                          "malformed busy interval",
+                          accelerator=acc.index, start=start, end=end)
+                aud.check(start >= previous_end - tol, "busy-intervals",
+                          "overlapping busy intervals on one set",
+                          accelerator=acc.index, start=start,
+                          previous_end=previous_end)
+                previous_end = max(previous_end, end)
+                busy += end - start
+            if makespan is not None:
+                aud.check(busy <= makespan + tol, "busy-le-makespan",
+                          "per-set busy cycles exceed the makespan",
+                          accelerator=acc.index, busy=busy,
+                          makespan=makespan)

@@ -1,0 +1,42 @@
+"""repro.validate: opt-in conservation auditing for the runtime.
+
+Usage::
+
+    from repro.validate import audited
+
+    with audited():
+        simulate_tree(traces, parents, soc)   # raises InvariantViolation
+                                              # on any accounting bug
+
+Audited layers: the event-driven scheduler (lane-work conservation, LLC
+capacity/restore, set acquire/release, pending-children bookkeeping),
+the accelerator pool (interval well-formedness), ``StepBudget``
+(no admission after exhaustion), ``NodeCostModel`` (memo integrity) and
+``BackendPipeline`` (per-step report/latency consistency).  Auditing is
+off by default and costs one ``is None`` check per audited call.
+
+The randomized stress harness under ``tests/stress/`` drives these
+layers through thousands of configurations with auditing on, and its
+mutation self-test proves the auditor actually catches seeded
+accounting bugs.
+"""
+
+from repro.validate.auditor import (
+    Auditor,
+    InvariantViolation,
+    audit_enabled,
+    audited,
+    current_auditor,
+    disable_audit,
+    enable_audit,
+)
+
+__all__ = [
+    "Auditor",
+    "InvariantViolation",
+    "audit_enabled",
+    "audited",
+    "current_auditor",
+    "disable_audit",
+    "enable_audit",
+]

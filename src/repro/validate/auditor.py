@@ -1,0 +1,160 @@
+"""Opt-in runtime invariant auditing (conservation checks).
+
+The simulator's results are accounting: the scheduler conserves work
+across COMP/MEM/host lanes, the LLC admission guard conserves capacity,
+the accelerator pool conserves set ownership, and ``StepBudget``
+conserves the per-step latency budget.  None of these fail loudly when
+mis-implemented — they silently skew the latency/accuracy trade-off the
+paper's figures rest on.
+
+This module provides the audit switch those layers consult.  When no
+auditor is installed (the default), the instrumented code paths reduce
+to one ``is None`` test per *call* (never per event-loop iteration where
+avoidable) — see ``benchmarks/test_pricing_speedup.py`` for the pinned
+overhead budget.  When an auditor is installed (``enable_audit()`` or
+the ``audited()`` context manager), every audited event is appended to a
+bounded log and every invariant is checked on the spot; a failure raises
+:class:`InvariantViolation` carrying the invariant name, the offending
+values, and the recent event log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+
+class InvariantViolation(AssertionError):
+    """A conservation invariant failed during an audited run.
+
+    Attributes
+    ----------
+    invariant:
+        Machine-readable invariant name (e.g. ``"llc-restored"``).
+    details:
+        The values that broke the invariant.
+    events:
+        The auditor's recent event log (newest last) at failure time.
+    """
+
+    def __init__(self, invariant: str, message: str,
+                 details: Optional[Dict[str, Any]] = None,
+                 events: Optional[List[Tuple[str, Dict[str, Any]]]] = None):
+        self.invariant = invariant
+        self.details = dict(details or {})
+        self.events = list(events or [])
+        parts = [f"[{invariant}] {message}"]
+        if self.details:
+            rendered = ", ".join(f"{k}={v!r}"
+                                 for k, v in self.details.items())
+            parts.append(f"  details: {rendered}")
+        if self.events:
+            parts.append(f"  last {len(self.events)} audited events:")
+            for kind, payload in self.events:
+                parts.append(f"    {kind}: {payload}")
+        super().__init__("\n".join(parts))
+
+
+class Auditor:
+    """Collects audited events and enforces invariants.
+
+    Parameters
+    ----------
+    max_events:
+        Ring-buffer size of the event log attached to violations (the
+        stress harness drives thousands of configurations through one
+        auditor; unbounded logs would dominate memory).
+    rtol:
+        Relative tolerance for float conservation comparisons.  The
+        event loop solves for completion times in floating point, so
+        "consumed equals priced" holds to rounding, not exactly.
+    """
+
+    def __init__(self, max_events: int = 256, rtol: float = 1e-6):
+        self.events: Deque[Tuple[str, Dict[str, Any]]] = \
+            deque(maxlen=int(max_events))
+        self.rtol = float(rtol)
+        self.checks = 0
+
+    # -- event log -----------------------------------------------------
+
+    def record(self, kind: str, **payload: Any) -> None:
+        self.events.append((kind, payload))
+
+    # -- assertions ----------------------------------------------------
+
+    def fail(self, invariant: str, message: str,
+             **details: Any) -> None:
+        raise InvariantViolation(invariant, message, details,
+                                 list(self.events))
+
+    def check(self, condition: bool, invariant: str, message: str,
+              **details: Any) -> None:
+        self.checks += 1
+        if not condition:
+            self.fail(invariant, message, **details)
+
+    def check_close(self, actual: float, expected: float,
+                    invariant: str, message: str, **details: Any) -> None:
+        """Conservation equality up to float rounding of the event math.
+
+        Relative tolerance only: audited quantities span cycles (1e9)
+        down to seconds (1e-6), so an absolute floor would mask real
+        divergence at the small end.  Exact zero must match exactly.
+        """
+        tol = self.rtol * max(abs(actual), abs(expected))
+        self.check(abs(actual - expected) <= tol, invariant, message,
+                   actual=actual, expected=expected, tolerance=tol,
+                   **details)
+
+    def check_nonneg(self, value: float, invariant: str, message: str,
+                     **details: Any) -> None:
+        """Exact non-negativity: audited quantities are clamped at zero
+        by the code under audit, so any negative — however tiny — means
+        a clamp was lost, not rounding."""
+        self.check(value >= 0.0, invariant, message, value=value,
+                   **details)
+
+
+# -- global switch -----------------------------------------------------
+#
+# A single module-level slot, read with one attribute access.  Audited
+# code fetches it once per call (``aud = current_auditor()``) and guards
+# each check with ``if aud is not None`` — plain code, no decorators, no
+# indirection on the event loop.
+
+_AUDITOR: Optional[Auditor] = None
+
+
+def current_auditor() -> Optional[Auditor]:
+    """The installed auditor, or None when auditing is off."""
+    return _AUDITOR
+
+
+def audit_enabled() -> bool:
+    return _AUDITOR is not None
+
+
+def enable_audit(auditor: Optional[Auditor] = None) -> Auditor:
+    """Install (and return) a process-wide auditor."""
+    global _AUDITOR
+    _AUDITOR = auditor if auditor is not None else Auditor()
+    return _AUDITOR
+
+
+def disable_audit() -> None:
+    global _AUDITOR
+    _AUDITOR = None
+
+
+@contextmanager
+def audited(auditor: Optional[Auditor] = None) -> Iterator[Auditor]:
+    """Run a block with auditing on, restoring the previous state."""
+    global _AUDITOR
+    previous = _AUDITOR
+    installed = enable_audit(auditor)
+    try:
+        yield installed
+    finally:
+        _AUDITOR = previous

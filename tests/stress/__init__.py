@@ -1,0 +1,7 @@
+"""Randomized stress harness for the audited runtime (repro.validate).
+
+``REPRO_STRESS_CONFIGS`` scales every sweep's configuration count
+(default keeps the gating run fast; CI's non-gating job runs a larger
+sweep).  All randomness is seed-pinned: a failure message names the
+integer seed that regenerates the exact configuration.
+"""

@@ -1,0 +1,108 @@
+"""Property tests: AcceleratorPool bookkeeping under random sequences.
+
+A random interleaving of acquire / release / release_owned_by / drain
+calls with monotonically advancing time must keep the pool's invariants:
+exclusive ownership, conserved availability, and well-formed,
+non-overlapping busy intervals whose total never exceeds elapsed time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.virtualization import AcceleratorPool
+from repro.validate import Auditor, audited
+
+from .generators import rng_of
+
+N_SEQUENCES = 200
+OPS_PER_SEQUENCE = 60
+
+
+def drive_random_sequence(seed):
+    """Random pool usage; returns (pool, final_time, owners_alive)."""
+    rng = rng_of(seed)
+    num_sets = int(rng.integers(1, 6))
+    pool = AcceleratorPool(num_sets)
+    now = 0.0
+    owned = {}          # owner -> set of indices we believe they hold
+    next_owner = 0
+    for _ in range(OPS_PER_SEQUENCE):
+        now += float(rng.uniform(0.0, 10.0))
+        action = rng.random()
+        if action < 0.45:
+            count = int(rng.integers(1, num_sets + 2))
+            granted, overhead = pool.acquire(count, next_owner, now)
+            assert len(granted) == min(count, num_sets - sum(
+                len(s) for s in owned.values()))
+            assert overhead == pool.acquire_overhead * len(granted)
+            if granted:
+                owned[next_owner] = set(granted)
+            next_owner += 1
+        elif action < 0.75 and owned:
+            owner = int(rng.choice(sorted(owned)))
+            overhead = pool.release_owned_by(owner, now)
+            assert overhead == pool.release_overhead * len(owned[owner])
+            del owned[owner]
+        elif action < 0.9 and owned:
+            # Partial release of one owner's sets.
+            owner = int(rng.choice(sorted(owned)))
+            indices = sorted(owned[owner])[:1]
+            pool.release(indices, now)
+            owned[owner] -= set(indices)
+            if not owned[owner]:
+                del owned[owner]
+        else:
+            pool.drain(now)
+            owned.clear()
+        held = sum(len(s) for s in owned.values())
+        assert pool.available() == num_sets - held, f"seed {seed}"
+    return pool, now, owned
+
+
+@pytest.mark.parametrize("batch", range(4))
+def test_random_sequences_conserve_ownership(batch):
+    for seed in range(batch * N_SEQUENCES // 4,
+                      (batch + 1) * N_SEQUENCES // 4):
+        pool, now, owned = drive_random_sequence(seed)
+        pool.drain(now)
+        # Auditor-verified interval bookkeeping after every sequence.
+        with audited() as aud:
+            pool.audit_verify(aud, makespan=now)
+        assert pool.available() == pool.num_sets
+        for busy in pool.busy_cycles():
+            assert 0.0 <= busy <= now + 1e-9
+
+
+def test_busy_cycles_equal_interval_sum():
+    rng = np.random.default_rng(123)
+    pool = AcceleratorPool(3)
+    expected = [0.0, 0.0, 0.0]
+    now = 0.0
+    for _ in range(50):
+        now += float(rng.uniform(0.1, 5.0))
+        granted, _ = pool.acquire(int(rng.integers(1, 4)), 0, now)
+        hold = float(rng.uniform(0.1, 5.0))
+        now += hold
+        pool.release(granted, now)
+        for index in granted:
+            expected[index] += hold
+    assert pool.busy_cycles() == pytest.approx(expected)
+
+
+def test_release_unowned_raises_even_under_audit():
+    pool = AcceleratorPool(2)
+    with audited():
+        with pytest.raises(ValueError):
+            pool.release([0], now=1.0)
+
+
+def test_audit_verify_flags_overlapping_intervals():
+    pool = AcceleratorPool(1)
+    acc = pool.accelerators[0]
+    acc.busy_intervals.append((0.0, 10.0))
+    acc.busy_intervals.append((5.0, 12.0))   # overlap, seeded by hand
+    aud = Auditor()
+    from repro.validate import InvariantViolation
+    with pytest.raises(InvariantViolation) as excinfo:
+        pool.audit_verify(aud, makespan=20.0)
+    assert excinfo.value.invariant == "busy-intervals"

@@ -1,0 +1,83 @@
+"""Audited randomized sweep over simulate_tree and StepBudget.
+
+Every configuration runs with the conservation auditor installed: any
+accounting bug in the event loop (lane work, LLC capacity, set
+ownership, pending children) or in the budget arithmetic raises
+InvariantViolation naming the seed that produced it.
+"""
+
+import os
+
+import pytest
+
+from repro.core.budget import StepBudget
+from repro.runtime import simulate_tree
+from repro.validate import audited
+
+from .generators import budget_sequence, scheduler_config
+
+STRESS_CONFIGS = int(os.environ.get("REPRO_STRESS_CONFIGS", "400"))
+
+
+def test_scheduler_conservation_sweep():
+    """Thousands of random (tree, SoC, features) configs, audit on."""
+    total_checks = 0
+    for seed in range(STRESS_CONFIGS):
+        traces, parents, soc, features = scheduler_config(seed)
+        with audited() as aud:
+            try:
+                result = simulate_tree(traces, parents, soc, features)
+            except Exception as exc:   # pragma: no cover - diagnostic
+                raise AssertionError(
+                    f"scheduler stress seed {seed} failed") from exc
+        total_checks += aud.checks
+        assert result.nodes_processed == len(traces), f"seed {seed}"
+        assert result.makespan_cycles >= 0.0, f"seed {seed}"
+        assert result.llc_rejections >= 0, f"seed {seed}"
+        assert 0.0 <= result.utilization <= 1.0 + 1e-9, f"seed {seed}"
+    # The sweep must actually exercise the auditor, not just run it.
+    assert total_checks > STRESS_CONFIGS
+
+
+def test_budget_conservation_sweep():
+    """Random charge sequences: optional work never lands after
+    exhaustion, and the admitted total never exceeds the usable budget."""
+    for seed in range(2 * STRESS_CONFIGS):
+        target, safety, energy, charges = budget_sequence(seed)
+        with audited():
+            budget = StepBudget(target, safety,
+                                energy_budget_joules=energy)
+            usable = budget.remaining
+            spent = 0.0
+            for kind, seconds, joules in charges:
+                if kind == "mandatory":
+                    budget.charge_mandatory(seconds, joules)
+                    spent += seconds
+                else:
+                    before = budget.remaining
+                    admitted = budget.charge(seconds, joules)
+                    if admitted:
+                        assert before > 0.0, f"seed {seed}"
+                        assert seconds <= before + 1e-12, f"seed {seed}"
+                        spent += seconds
+                    else:
+                        assert budget.remaining == before, f"seed {seed}"
+        assert spent >= usable - budget.remaining - 1e-9, f"seed {seed}"
+
+
+def test_auditor_is_off_by_default():
+    """The sweep must not leak an installed auditor into other tests."""
+    from repro.validate import audit_enabled
+    assert not audit_enabled()
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_failing_seed_is_reproducible(seed):
+    """Same seed, same configuration — the harness contract."""
+    a = scheduler_config(seed)
+    b = scheduler_config(seed)
+    assert list(a[0]) == list(b[0])
+    assert a[1] == b[1]
+    assert [t.num_ops for t in a[0].values()] == \
+        [t.num_ops for t in b[0].values()]
+    assert a[3] == b[3]

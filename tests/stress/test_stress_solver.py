@@ -1,0 +1,51 @@
+"""Audited randomized sweep over RAISAM2.update / BackendPipeline.run.
+
+Each configuration streams a random SE(2) workload through RA-ISAM2
+with the conservation auditor installed, so every selection pass
+(StepBudget), every cost-model lookup, and every scheduled step
+(simulate_tree via the pricing stage) is invariant-checked end to end.
+"""
+
+import os
+
+from repro.core import RAISAM2
+from repro.pipeline import BackendPipeline, PricingStage
+from repro.runtime import NodeCostModel
+from repro.validate import audited
+
+from .generators import solver_config
+
+SOLVER_CONFIGS = max(4, int(os.environ.get("REPRO_STRESS_CONFIGS",
+                                           "400")) // 25)
+
+
+def test_raisam2_pipeline_audited_sweep():
+    for seed in range(SOLVER_CONFIGS):
+        dataset, soc, target, policy = solver_config(seed)
+        solver = RAISAM2(NodeCostModel(soc), target_seconds=target,
+                         selection_policy=policy, selection_seed=seed)
+        pipeline = BackendPipeline(solver, [PricingStage(soc)],
+                                   collect_traces=True)
+        with audited() as aud:
+            try:
+                run = pipeline.run(dataset)
+            except Exception as exc:   # pragma: no cover - diagnostic
+                raise AssertionError(
+                    f"solver stress seed {seed} "
+                    f"(policy={policy}, target={target}) failed") from exc
+        assert len(run.reports) == len(dataset.steps), f"seed {seed}"
+        assert len(run.latencies) == len(dataset.steps), f"seed {seed}"
+        assert all(lat.total >= 0.0 for lat in run.latencies), \
+            f"seed {seed}"
+        assert aud.checks > 0, f"seed {seed}: auditor never consulted"
+
+
+def test_starved_budget_defers_everything_but_mandatory():
+    """target ~ 0 must still incorporate every new factor (mandatory),
+    deferring all optional relinearization — with the auditor on."""
+    dataset, soc, _, _ = solver_config(3)
+    solver = RAISAM2(NodeCostModel(soc), target_seconds=1e-9)
+    with audited():
+        run = BackendPipeline(solver, collect_traces=False).run(dataset)
+    assert len(run.reports) == len(dataset.steps)
+    assert solver.estimate().keys()

@@ -132,6 +132,26 @@ class TestStepBudget:
     def test_safety_scales_budget(self):
         assert StepBudget(1.0, safety=0.5).remaining == pytest.approx(0.5)
 
+    def test_zero_cost_rejected_once_exactly_exhausted(self):
+        # Regression: ``seconds > remaining`` alone admitted cost-0 work
+        # forever once remaining hit exactly 0.0.
+        budget = StepBudget(1.0, safety=1.0)
+        budget.charge_mandatory(budget.remaining)
+        assert budget.remaining == 0.0
+        assert budget.exhausted
+        assert not budget.charge(0.0)
+
+    def test_zero_cost_rejected_after_overrun(self):
+        budget = StepBudget(1.0, safety=1.0)
+        budget.charge_mandatory(2.0)
+        assert not budget.charge(0.0)
+
+    def test_zero_cost_rejected_after_energy_exhaustion(self):
+        budget = StepBudget(1.0, safety=1.0, energy_budget_joules=1e-3)
+        budget.charge_mandatory(0.1, joules=1e-3)
+        assert budget.exhausted
+        assert not budget.charge(0.0, joules=0.0)
+
 
 class TestRAISAM2:
     def drive(self, solver, n=20, closure_at=15, noise_scale=0.3, seed=1):
@@ -167,6 +187,42 @@ class TestRAISAM2:
         loose = self.make_solver(target=10.0)
         reports = self.drive(loose)
         assert sum(r.deferred_variables for r in reports) == 0
+
+    def test_fifo_orders_by_insertion_not_key(self):
+        # Regression: "fifo" sorted candidates by Key, which interleaves
+        # namespaces (offset landmark keys sorted between pose keys
+        # regardless of age).  Oldest-first means insertion order.
+        solver = self.make_solver(target=1e-9,
+                                  selection_policy="fifo",
+                                  score_floor=1e-12)
+        solver.update({0: SE2()}, [PriorFactorSE2(0, SE2(), NOISE)])
+        # Interleave "landmark" keys (offset 100) with pose keys so
+        # insertion order is 100, 1, 101 but Key order is 1, 100, 101.
+        solver.update({100: SE2(0.9, 0.2, 0.0)},
+                      [BetweenFactorSE2(0, 100, SE2(1.0, 0.0, 0.0),
+                                        NOISE)])
+        solver.update({1: SE2(1.8, -0.3, 0.0)},
+                      [BetweenFactorSE2(100, 1, SE2(1.0, 0.0, 0.0),
+                                        NOISE)])
+        solver.update({101: SE2(2.7, 0.25, 0.0)},
+                      [BetweenFactorSE2(1, 101, SE2(1.0, 0.0, 0.0),
+                                        NOISE)])
+        # The starved budget above deferred every relinearization; a
+        # loose final step admits all pending candidates in fifo order.
+        captured = {}
+        engine_update = solver.engine.update
+
+        def spy(new_values, new_factors, selected, context=None):
+            captured["selected"] = list(selected)
+            return engine_update(new_values, new_factors, selected,
+                                 context=context)
+
+        solver.engine.update = spy
+        solver.target_seconds = 10.0
+        solver.update({2: SE2(3.6, -0.2, 0.0)},
+                      [BetweenFactorSE2(101, 2, SE2(1.0, 0.0, 0.0),
+                                        NOISE)])
+        assert captured["selected"] == [100, 1, 101]
 
     def test_loose_budget_matches_isam2_accuracy(self):
         # With an unconstrained budget RA-ISAM2 degenerates to ISAM2

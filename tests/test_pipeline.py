@@ -1,6 +1,7 @@
 """Unit tests for the BackendPipeline step loop and its stages."""
 
 import numpy as np
+import pytest
 
 from repro.datasets import manhattan_dataset, run_online
 from repro.hardware import supernova_soc
@@ -38,6 +39,21 @@ class TestBackendPipeline:
     def test_max_steps_truncates(self):
         run = BackendPipeline(ISAM2()).run(tiny_dataset(), max_steps=5)
         assert len(run.reports) == 5
+
+    def test_max_steps_zero_runs_nothing(self):
+        # Regression: ``if max_steps:`` treated 0 as "run everything".
+        run = BackendPipeline(ISAM2()).run(tiny_dataset(), max_steps=0)
+        assert run.reports == []
+
+    def test_max_steps_negative_raises(self):
+        with pytest.raises(ValueError):
+            BackendPipeline(ISAM2()).run(tiny_dataset(), max_steps=-1)
+        with pytest.raises(ValueError):
+            run_online(ISAM2(), tiny_dataset(), max_steps=-1)
+
+    def test_run_online_max_steps_zero_runs_nothing(self):
+        run = run_online(ISAM2(), tiny_dataset(), max_steps=0)
+        assert run.reports == []
 
     def test_stage_hooks_fire_in_order(self):
         events = []

@@ -79,6 +79,24 @@ class TestLlcRejections:
         assert result.llc_rejections >= 1
         assert result.nodes_processed == 2
 
+    def test_blocked_nodes_counted_once_per_admission_event(self):
+        # Semantics: each admission event counts every *distinct* node it
+        # leaves blocked, not every failed scan iteration.  Two giants on
+        # two sets block exactly one node exactly once.
+        traces = {i: big_workspace_node(i) for i in range(2)}
+        result = simulate_tree(traces, {0: None, 1: None},
+                               supernova_soc(2))
+        assert result.llc_rejections == 1
+
+    def test_blocked_count_scales_with_ready_queue(self):
+        # Four independent giants serialize on the LLC: the admissions
+        # leave 3, then 2, then 1 node blocked — 6 blocked-node events.
+        traces = {i: big_workspace_node(i) for i in range(4)}
+        result = simulate_tree(traces, {i: None for i in range(4)},
+                               supernova_soc(2))
+        assert result.llc_rejections == 6
+        assert result.nodes_processed == 4
+
     def test_roomy_llc_never_rejects(self):
         traces = {i: make_node(i) for i in range(4)}
         parents = {i: None for i in range(4)}
