@@ -1,0 +1,88 @@
+"""Microbenchmark: batched linearization vs the per-factor scalar loop.
+
+Builds the full CAB1 graph (scale 0.5, the experiments default) and
+times a complete relinearization sweep — every factor re-linearized at
+the current values, exactly what ``IncrementalEngine._relinearize`` and
+``linearize_graph`` do — through both paths:
+
+* scalar — ``linearize_factor`` per factor (jacobians, whitening and
+  ``J^T J`` one factor at a time), and
+* batched — ``linearize_many`` (structure-of-arrays grouping with
+  vectorized geometry kernels and one-shot Hessian assembly).
+
+The two paths are asserted **bit-identical** before any timing (the
+batched engine's contract, see ``repro.solvers.batch_linearize``), then
+the speedup floor of 3x is enforced.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import cab1_dataset
+from repro.factorgraph.values import Values
+from repro.solvers.batch_linearize import linearize_many
+from repro.solvers.linearize import linearize_factor
+
+SCALE = 0.5
+REPEATS = 5
+ITERATIONS = 3
+MIN_SPEEDUP = 3.0
+
+
+def _best_of(fn, repeats=REPEATS, iterations=ITERATIONS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="linearize")
+def test_linearize_speedup(once, save_result):
+    data = cab1_dataset(scale=SCALE)
+    values = Values()
+    factors = []
+    for step in data.steps:
+        values.insert(step.key, step.guess)
+        factors.extend(step.factors)
+    position_of = {k: i for i, k in enumerate(sorted(values.keys()))}
+
+    def scalar():
+        return [linearize_factor(f, values, position_of) for f in factors]
+
+    def batched():
+        return linearize_many(factors, values, position_of)[0]
+
+    reference = scalar()
+    candidates = batched()
+    assert len(candidates) == len(reference)
+    for ref, got in zip(reference, candidates):
+        assert got.positions == ref.positions
+        assert np.array_equal(got.hessian, ref.hessian)
+        assert np.array_equal(got.gradient, ref.gradient)
+
+    def measure():
+        scalar_seconds = _best_of(scalar)
+        batched_seconds = _best_of(batched)
+        return scalar_seconds, batched_seconds
+
+    scalar_seconds, batched_seconds = once(measure)
+    speedup = scalar_seconds / batched_seconds
+
+    lines = [
+        "linearization microbenchmark "
+        f"(CAB1 scale={SCALE}, {len(factors)} factors, "
+        f"{len(position_of)} poses, full relinearization sweep)",
+        f"scalar  per-factor loop:   "
+        f"{1e3 * scalar_seconds / ITERATIONS:9.2f} ms/sweep",
+        f"batched linearize_many:    "
+        f"{1e3 * batched_seconds / ITERATIONS:9.2f} ms/sweep",
+        f"speedup: {speedup:.2f}x (floor {MIN_SPEEDUP}x)",
+    ]
+    save_result("linearize_speedup", "\n".join(lines))
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched linearization only {speedup:.2f}x faster")

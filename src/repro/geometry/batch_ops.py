@@ -1,0 +1,46 @@
+"""Shared primitives for the batched (structure-of-arrays) geometry kernels.
+
+The batched linearization layer promises *bit-identical* results to the
+scalar per-factor path (committed benchmark result files must reproduce
+byte-for-byte).  NumPy offers several ways to express the same
+contraction, and they are **not** all bit-equal:
+
+* stacked ``np.matmul`` over ``(N, r, c)`` operands dispatches to the
+  same BLAS GEMM kernels as the scalar ``a @ b``, so it reproduces the
+  scalar path exactly;
+* ``np.einsum`` and axis reductions (``(v * v).sum(axis=1)``) use their
+  own accumulation loops (no FMA) and drift in the last ulp.
+
+Every helper here therefore goes through ``np.matmul``.  Scalar
+transcendentals are also not all safe: ``np.cos``/``np.sin``/
+``np.sqrt``/``np.fmod`` match ``math.*`` bitwise, but ``np.arctan2`` and
+``np.arccos`` do not — batch kernels that need those call the ``math``
+functions per element instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mv(mat: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    """Batched matrix-vector product ``(N, r, c) @ (N, c) -> (N, r)``.
+
+    Bit-identical to the scalar ``mat @ vec`` per slice.
+    """
+    return np.matmul(mat, vec[..., None])[..., 0]
+
+
+def row_dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Batched dot product ``(N, d) . (N, d) -> (N,)``.
+
+    Bit-identical to the scalar ``float(a @ b)`` per row (BLAS ddot,
+    FMA included), which ``(a * b).sum(axis=1)`` is not.
+    """
+    return np.matmul(a[:, None, :], b[:, :, None])[:, 0, 0]
+
+
+def row_norm(v: np.ndarray) -> np.ndarray:
+    """Batched 2-norm per row, bit-identical to ``np.linalg.norm(row)``
+    (which computes ``sqrt(dot(row, row))``)."""
+    return np.sqrt(row_dot(v, v))

@@ -12,7 +12,13 @@ import math
 
 import numpy as np
 
-from repro.geometry.so2 import SO2, wrap_angle
+from repro.geometry.batch_ops import mv
+from repro.geometry.so2 import (
+    SO2,
+    batch_matrix,
+    batch_wrap_angle,
+    wrap_angle,
+)
 
 
 class SE2:
@@ -125,3 +131,105 @@ class SE2:
 
     def __repr__(self) -> str:
         return f"SE2(x={self.x:.4f}, y={self.y:.4f}, theta={self.theta:.4f})"
+
+
+# ----------------------------------------------------------------------
+# Batched (structure-of-arrays) kernels.  A batch of SE(2) elements is
+# the pair ``(t, theta)`` with ``t`` of shape ``(N, 2)`` and ``theta``
+# of shape ``(N,)``.  Each kernel mirrors the scalar method above
+# operation for operation (same formulas, same evaluation order, matmul
+# for every contraction), so results are bit-identical per element —
+# see :mod:`repro.geometry.batch_ops`.
+# ----------------------------------------------------------------------
+
+
+def batch_exp(xi: np.ndarray):
+    """Vectorized :meth:`SE2.exp` over ``(N, 3)`` tangent vectors."""
+    xi = np.asarray(xi, dtype=float).reshape(-1, 3)
+    v = xi[:, :2]
+    omega = xi[:, 2]
+    t = v.copy()
+    big = np.abs(omega) >= 1e-10
+    if np.any(big):
+        om = omega[big]
+        s, c = np.sin(om), np.cos(om)
+        v_mat = np.empty((om.size, 2, 2))
+        v_mat[:, 0, 0] = s / om
+        v_mat[:, 0, 1] = -(1.0 - c) / om
+        v_mat[:, 1, 0] = (1.0 - c) / om
+        v_mat[:, 1, 1] = s / om
+        t[big] = mv(v_mat, v[big])
+    return t, batch_wrap_angle(omega)
+
+
+def batch_log(t: np.ndarray, theta: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`SE2.log`; returns ``(N, 3)`` tangent vectors."""
+    t = np.asarray(t, dtype=float).reshape(-1, 2)
+    omega = np.asarray(theta, dtype=float).reshape(-1)
+    out = np.empty((omega.size, 3))
+    out[:, :2] = t
+    out[:, 2] = omega
+    big = np.abs(omega) >= 1e-10
+    if np.any(big):
+        om = omega[big]
+        s, c = np.sin(om), np.cos(om)
+        a = s / om
+        b = (1.0 - c) / om
+        # Python's float ``** 2`` (libm pow) is not bit-equal to ``a*a``
+        # for every input, so evaluate the scalar path's determinant
+        # ``(s/w)**2 + ((1-c)/w)**2`` per element.
+        det = np.array([float(x) ** 2 + float(y) ** 2
+                        for x, y in zip(a, b)])
+        v_inv = np.empty((om.size, 2, 2))
+        v_inv[:, 0, 0] = a / det
+        v_inv[:, 0, 1] = b / det
+        v_inv[:, 1, 0] = -b / det
+        v_inv[:, 1, 1] = a / det
+        out[big, :2] = mv(v_inv, t[big])
+    return out
+
+
+def batch_compose(t1, theta1, t2, theta2):
+    """Vectorized :meth:`SE2.compose`."""
+    t1 = np.asarray(t1, dtype=float)
+    t2 = np.asarray(t2, dtype=float)
+    return (t1 + mv(batch_matrix(theta1), t2),
+            batch_wrap_angle(np.asarray(theta1, dtype=float)
+                             + np.asarray(theta2, dtype=float)))
+
+
+def batch_inverse(t, theta):
+    """Vectorized :meth:`SE2.inverse`."""
+    inv_theta = batch_wrap_angle(-np.asarray(theta, dtype=float))
+    return -mv(batch_matrix(inv_theta), np.asarray(t, dtype=float)), inv_theta
+
+
+def batch_between(t1, theta1, t2, theta2):
+    """Vectorized :meth:`SE2.between`: ``x1^-1 * x2``."""
+    inv_t, inv_theta = batch_inverse(t1, theta1)
+    return batch_compose(inv_t, inv_theta, t2, theta2)
+
+
+def batch_local(t1, theta1, t2, theta2) -> np.ndarray:
+    """Vectorized :meth:`SE2.local`; returns ``(N, 3)`` tangent vectors."""
+    t1 = np.asarray(t1, dtype=float).reshape(-1, 2)
+    t2 = np.asarray(t2, dtype=float).reshape(-1, 2)
+    theta1 = np.asarray(theta1, dtype=float).reshape(-1)
+    theta2 = np.asarray(theta2, dtype=float).reshape(-1)
+    inv_rot = batch_matrix(batch_wrap_angle(-theta1))
+    out = np.empty((theta1.size, 3))
+    out[:, :2] = mv(inv_rot, t2 - t1)
+    out[:, 2] = batch_wrap_angle(theta2 - theta1)
+    return out
+
+
+def batch_adjoint(t, theta) -> np.ndarray:
+    """Vectorized :meth:`SE2.adjoint`; returns ``(N, 3, 3)``."""
+    t = np.asarray(t, dtype=float).reshape(-1, 2)
+    theta = np.asarray(theta, dtype=float).reshape(-1)
+    adj = np.zeros((theta.size, 3, 3))
+    adj[:, :2, :2] = batch_matrix(theta)
+    adj[:, 0, 2] = t[:, 1]
+    adj[:, 1, 2] = -t[:, 0]
+    adj[:, 2, 2] = 1.0
+    return adj

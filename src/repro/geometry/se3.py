@@ -11,7 +11,14 @@ import math
 
 import numpy as np
 
-from repro.geometry.so3 import SO3, skew
+from repro.geometry.batch_ops import mv
+from repro.geometry.jacobians import (
+    batch_so3_left_jacobian,
+    batch_so3_left_jacobian_inverse,
+)
+from repro.geometry.so3 import SO3, batch_skew, skew
+from repro.geometry.so3 import batch_exp as so3_batch_exp
+from repro.geometry.so3 import batch_log as so3_batch_log
 
 
 def _left_jacobian_so3(omega: np.ndarray) -> np.ndarray:
@@ -111,3 +118,61 @@ class SE3:
 
     def __repr__(self) -> str:
         return f"SE3(t={np.array2string(self.t, precision=4)}, rot={self.rot})"
+
+
+# ----------------------------------------------------------------------
+# Batched (structure-of-arrays) kernels.  A batch of SE(3) elements is
+# the pair ``(rot, t)`` with ``rot`` of shape ``(N, 3, 3)`` and ``t`` of
+# shape ``(N, 3)``.  Each kernel mirrors the scalar method above
+# operation for operation, so results are bit-identical per element —
+# see :mod:`repro.geometry.batch_ops`.
+# ----------------------------------------------------------------------
+
+
+def batch_exp(xi: np.ndarray):
+    """Vectorized :meth:`SE3.exp` over ``(N, 6)`` tangent vectors."""
+    xi = np.asarray(xi, dtype=float).reshape(-1, 6)
+    rho, omega = xi[:, :3], xi[:, 3:]
+    rot = so3_batch_exp(omega)
+    t = mv(batch_so3_left_jacobian(omega), rho)
+    return rot, t
+
+
+def batch_log(rot: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`SE3.log`; returns ``(N, 6)`` tangent vectors."""
+    rot = np.asarray(rot, dtype=float).reshape(-1, 3, 3)
+    t = np.asarray(t, dtype=float).reshape(-1, 3)
+    omega = so3_batch_log(rot)
+    rho = mv(batch_so3_left_jacobian_inverse(omega), t)
+    return np.concatenate([rho, omega], axis=1)
+
+
+def batch_compose(rot1, t1, rot2, t2):
+    """Vectorized :meth:`SE3.compose`."""
+    rot1 = np.asarray(rot1, dtype=float)
+    t1 = np.asarray(t1, dtype=float)
+    return (np.matmul(rot1, np.asarray(rot2, dtype=float)),
+            t1 + mv(rot1, np.asarray(t2, dtype=float)))
+
+
+def batch_inverse(rot, t):
+    """Vectorized :meth:`SE3.inverse`."""
+    inv_rot = np.transpose(np.asarray(rot, dtype=float), (0, 2, 1))
+    return inv_rot, -mv(inv_rot, np.asarray(t, dtype=float))
+
+
+def batch_between(rot1, t1, rot2, t2):
+    """Vectorized :meth:`SE3.between`: ``x1^-1 * x2``."""
+    inv_rot, inv_t = batch_inverse(rot1, t1)
+    return batch_compose(inv_rot, inv_t, rot2, t2)
+
+
+def batch_adjoint(rot, t) -> np.ndarray:
+    """Vectorized :meth:`SE3.adjoint`; returns ``(N, 6, 6)``."""
+    rot = np.asarray(rot, dtype=float).reshape(-1, 3, 3)
+    t = np.asarray(t, dtype=float).reshape(-1, 3)
+    adj = np.zeros((rot.shape[0], 6, 6))
+    adj[:, :3, :3] = rot
+    adj[:, 3:, 3:] = rot
+    adj[:, :3, 3:] = np.matmul(batch_skew(t), rot)
+    return adj

@@ -18,6 +18,37 @@ def wrap_angle(theta: float) -> float:
     return wrapped - math.pi
 
 
+def batch_wrap_angle(theta: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`wrap_angle` over an ``(N,)`` array.
+
+    Bit-identical to the scalar path: ``np.fmod`` and ``math.fmod`` are
+    the same IEEE operation, and the branch is a select over identical
+    arithmetic.
+    """
+    theta = np.asarray(theta, dtype=float)
+    wrapped = np.fmod(theta + math.pi, 2.0 * math.pi)
+    wrapped = np.where(wrapped <= 0.0, wrapped + 2.0 * math.pi, wrapped)
+    return wrapped - math.pi
+
+
+def batch_matrix(theta: np.ndarray) -> np.ndarray:
+    """Rotation matrices ``(N, 2, 2)`` for a batch of angles."""
+    theta = np.asarray(theta, dtype=float)
+    c, s = np.cos(theta), np.sin(theta)
+    out = np.empty(theta.shape + (2, 2))
+    out[..., 0, 0] = c
+    out[..., 0, 1] = -s
+    out[..., 1, 0] = s
+    out[..., 1, 1] = c
+    return out
+
+
+def batch_compose(theta1: np.ndarray, theta2: np.ndarray) -> np.ndarray:
+    """Composed (wrapped) angles for two batches of rotations."""
+    return batch_wrap_angle(np.asarray(theta1, dtype=float)
+                            + np.asarray(theta2, dtype=float))
+
+
 class SO2:
     """A planar rotation, parameterized by its angle in radians."""
 

@@ -9,6 +9,8 @@ import math
 
 import numpy as np
 
+from repro.geometry.batch_ops import row_norm
+
 
 def skew(v: np.ndarray) -> np.ndarray:
     """The 3x3 skew-symmetric (hat) matrix of a 3-vector."""
@@ -19,6 +21,25 @@ def skew(v: np.ndarray) -> np.ndarray:
 def unskew(mat: np.ndarray) -> np.ndarray:
     """Inverse of :func:`skew` (vee operator)."""
     return np.array([mat[2, 1], mat[0, 2], mat[1, 0]])
+
+
+def batch_skew(v: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`skew` over ``(N, 3)`` vectors."""
+    v = np.asarray(v, dtype=float).reshape(-1, 3)
+    out = np.zeros((v.shape[0], 3, 3))
+    out[:, 0, 1] = -v[:, 2]
+    out[:, 0, 2] = v[:, 1]
+    out[:, 1, 0] = v[:, 2]
+    out[:, 1, 2] = -v[:, 0]
+    out[:, 2, 0] = -v[:, 1]
+    out[:, 2, 1] = v[:, 0]
+    return out
+
+
+def batch_unskew(mats: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`unskew` over ``(N, 3, 3)`` matrices."""
+    mats = np.asarray(mats, dtype=float)
+    return np.stack([mats[:, 2, 1], mats[:, 0, 2], mats[:, 1, 0]], axis=1)
 
 
 class SO3:
@@ -120,3 +141,61 @@ class SO3:
     def __repr__(self) -> str:
         rpy = self.log()
         return f"SO3(log=[{rpy[0]:.4f}, {rpy[1]:.4f}, {rpy[2]:.4f}])"
+
+
+# ----------------------------------------------------------------------
+# Batched kernels over ``(N, 3, 3)`` rotation stacks / ``(N, 3)``
+# rotation vectors.  Each mirrors the scalar method above operation for
+# operation so results are bit-identical (see repro.geometry.batch_ops);
+# ``math.acos`` stays a per-element call because ``np.arccos`` is not
+# bit-equal to it.
+# ----------------------------------------------------------------------
+
+
+def batch_exp(omega: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`SO3.exp`; returns ``(N, 3, 3)`` matrices."""
+    omega = np.asarray(omega, dtype=float).reshape(-1, 3)
+    angle = row_norm(omega)
+    out = np.empty((omega.shape[0], 3, 3))
+    small = angle < 1e-10
+    if np.any(small):
+        hat = batch_skew(omega[small])
+        # Scalar ``0.5 * hat @ hat`` associates as ``(0.5*hat) @ hat``.
+        out[small] = np.eye(3) + hat + np.matmul(0.5 * hat, hat)
+    big = ~small
+    if np.any(big):
+        axis_hat = batch_skew(omega[big] / angle[big][:, None])
+        s = np.sin(angle[big])[:, None, None]
+        c = (1.0 - np.cos(angle[big]))[:, None, None]
+        out[big] = (np.eye(3) + s * axis_hat
+                    + np.matmul(c * axis_hat, axis_hat))
+    return out
+
+
+def batch_log(mats: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`SO3.log`; returns ``(N, 3)`` rotation vectors."""
+    mats = np.asarray(mats, dtype=float).reshape(-1, 3, 3)
+    trace = mats[:, 0, 0] + mats[:, 1, 1] + mats[:, 2, 2]
+    cos_angle = np.clip((trace - 1.0) / 2.0, -1.0, 1.0)
+    angle = np.array([math.acos(v) for v in cos_angle])
+    angle = angle.reshape(-1)
+    out = np.empty((mats.shape[0], 3))
+    anti = batch_unskew(mats - np.transpose(mats, (0, 2, 1)))
+    small = angle < 1e-10
+    if np.any(small):
+        out[small] = anti[small] / 2.0
+    near_pi = angle > math.pi - 1e-6
+    for i in np.flatnonzero(near_pi):
+        # Rare branch with sign fix-ups; reuse the scalar code verbatim.
+        out[i] = SO3(mats[i]).log()
+    rest = ~(small | near_pi)
+    if np.any(rest):
+        coef = angle[rest] / (2.0 * np.sin(angle[rest]))
+        out[rest] = coef[:, None] * anti[rest]
+    return out
+
+
+def batch_compose(mats1: np.ndarray, mats2: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`SO3.compose` over two rotation stacks."""
+    return np.matmul(np.asarray(mats1, dtype=float),
+                     np.asarray(mats2, dtype=float))

@@ -29,11 +29,14 @@ class StepContext:
         Supernodes numerically refactorized.
     ``backsub``
         Supernodes visited by the wildfire back-substitution.
+    ``lin_seconds`` / ``lin_batched`` / ``lin_fallback``
+        Wall time spent linearizing factors this step and how many
+        factors took the batched vs. the per-factor scalar path.
     """
 
     __slots__ = ("trace", "step", "is_last", "relin_variables",
                  "relin_factors", "symbolic", "numeric", "backsub",
-                 "extras")
+                 "lin_seconds", "lin_batched", "lin_fallback", "extras")
 
     def __init__(self, trace: Optional[OpTrace] = None, step: int = 0,
                  is_last: bool = False):
@@ -45,6 +48,9 @@ class StepContext:
         self.symbolic = 0
         self.numeric = 0
         self.backsub = 0
+        self.lin_seconds = 0.0
+        self.lin_batched = 0
+        self.lin_fallback = 0
         self.extras: Dict[str, float] = {}
 
     @property
@@ -68,6 +74,9 @@ class StepContext:
 
         extras = dict(self.extras)
         extras.setdefault("backsub_nodes", float(self.backsub))
+        extras.setdefault("lin_seconds", float(self.lin_seconds))
+        extras.setdefault("lin_batched_factors", float(self.lin_batched))
+        extras.setdefault("lin_fallback_factors", float(self.lin_fallback))
         return StepReport(
             step=step,
             relinearized_variables=self.relin_variables,

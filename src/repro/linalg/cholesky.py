@@ -47,6 +47,12 @@ def contribution_from_blocks(
 ) -> FactorContribution:
     """Build a :class:`FactorContribution` from ``Factor.linearize`` output."""
     ordered = sorted(blocks.keys(), key=lambda key: position_of[key])
+    if len(ordered) == 1:
+        # Single-variable factors need no hstack copy.
+        block = blocks[ordered[0]]
+        return FactorContribution(
+            [position_of[ordered[0]]], block.T @ block, block.T @ rhs,
+            residual_dim=len(rhs))
     stacked = np.hstack([blocks[key] for key in ordered])
     hessian = stacked.T @ stacked
     gradient = stacked.T @ rhs

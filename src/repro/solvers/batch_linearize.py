@@ -1,0 +1,276 @@
+"""Batched linearization: one-shot Hessian assembly over factor groups.
+
+The scalar path (:mod:`repro.solvers.linearize`) linearizes one factor at
+a time: each factor re-enters Python for its residual, Jacobian blocks,
+whitening, and ``J^T J`` product.  This module groups homogeneous
+factors into structure-of-arrays batches, evaluates each group with the
+batched geometry kernels (:mod:`repro.geometry.batch_ops` and friends),
+whitens all residuals/Jacobians with stacked matmuls, and forms every
+``J^T J`` / ``J^T b`` in a single pass — then emits the same per-factor
+:class:`~repro.linalg.cholesky.FactorContribution` objects the
+downstream supernodal machinery expects.
+
+Bit-identity contract
+---------------------
+The batched path must reproduce the scalar path *bit for bit* (the
+committed benchmark result files regenerate byte-identically).  Every
+kernel therefore mirrors the corresponding scalar code operation for
+operation: same formulas, same evaluation order, same operator
+associativity, ``np.matmul`` for every contraction, and per-element
+``math.atan2``/``math.acos`` where the NumPy ufunc is not bit-equal.
+
+Fallback contract
+-----------------
+A factor is batched only when
+
+* its *exact* type has a registered kernel (subclasses may override
+  residuals or Jacobians, so they fall back), and
+* its noise model's *exact* type is one of the known whitening models
+  (a custom noise class may override ``whiten_jacobian``), and
+* its keys are distinct (``Factor.linearize`` collapses duplicate keys
+  through its block dict; the batch layout does not).
+
+Everything else takes the per-factor scalar path, so arbitrary factor
+types keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.factorgraph.factors import (
+    _GEN,
+    BetweenFactorSE2,
+    BetweenFactorSE3,
+    Factor,
+    PriorFactorSE2,
+    PriorFactorSE3,
+)
+from repro.factorgraph.keys import Key
+from repro.factorgraph.landmark_factors import (
+    BearingRangeFactor2D,
+    PriorFactorPoint2,
+)
+from repro.factorgraph.noise import DiagonalNoise, GaussianNoise, IsotropicNoise
+from repro.factorgraph.robust import CauchyNoise, HuberNoise
+from repro.geometry import se2 as se2_ops
+from repro.geometry import se3 as se3_ops
+from repro.geometry.batch_ops import mv, row_dot, row_norm
+from repro.geometry.jacobians import batch_se3_right_jacobian_inverse
+from repro.geometry.so2 import batch_matrix, batch_wrap_angle
+from repro.linalg.cholesky import FactorContribution, contribution_from_blocks
+
+# Noise models whose whitening the batch path reproduces exactly: plain
+# sqrt-information whitening plus the robust wrappers, whose IRLS weight
+# is still evaluated per factor through the scalar ``weight`` method.
+_BATCHABLE_NOISE = (GaussianNoise, DiagonalNoise, IsotropicNoise,
+                    HuberNoise, CauchyNoise)
+
+
+def _gather_se2(factors: Sequence[Factor], values, slot: int):
+    poses = [values.at(f.keys[slot]) for f in factors]
+    t = np.array([p.t for p in poses])
+    theta = np.array([p.rot.theta for p in poses])
+    return t, theta
+
+
+def _gather_se3(factors: Sequence[Factor], values, slot: int):
+    poses = [values.at(f.keys[slot]) for f in factors]
+    rot = np.array([p.rot.mat for p in poses])
+    t = np.array([p.t for p in poses])
+    return rot, t
+
+
+def _prior_se2(factors: Sequence[Factor], values):
+    t_x, th_x = _gather_se2(factors, values, 0)
+    t_p = np.array([f.prior.t for f in factors])
+    th_p = np.array([f.prior.rot.theta for f in factors])
+    raw = se2_ops.batch_local(t_p, th_p, t_x, th_x)
+    jac = np.zeros((len(factors), 3, 3))
+    inv_rot_p = batch_matrix(batch_wrap_angle(-th_p))
+    jac[:, :2, :2] = np.matmul(inv_rot_p, batch_matrix(th_x))
+    jac[:, 2, 2] = 1.0
+    return [jac], raw
+
+
+def _between_se2(factors: Sequence[Factor], values):
+    t1, th1 = _gather_se2(factors, values, 0)
+    t2, th2 = _gather_se2(factors, values, 1)
+    t_m = np.array([f.measured.t for f in factors])
+    th_m = np.array([f.measured.rot.theta for f in factors])
+    rel_t, rel_th = se2_ops.batch_between(t1, th1, t2, th2)
+    raw = se2_ops.batch_local(t_m, th_m, rel_t, rel_th)
+    n = len(factors)
+    rot_m_inv = batch_matrix(batch_wrap_angle(-th_m))
+    neg_rot_m_inv = -rot_m_inv
+    gen_t = np.matmul(_GEN, rel_t[:, :, None])[:, :, 0]
+    jac1 = np.zeros((n, 3, 3))
+    jac1[:, :2, :2] = neg_rot_m_inv
+    jac1[:, :2, 2] = mv(neg_rot_m_inv, gen_t)
+    jac1[:, 2, 2] = -1.0
+    jac2 = np.zeros((n, 3, 3))
+    jac2[:, :2, :2] = np.matmul(rot_m_inv, batch_matrix(rel_th))
+    jac2[:, 2, 2] = 1.0
+    return [jac1, jac2], raw
+
+
+def _prior_se3(factors: Sequence[Factor], values):
+    rot_x, t_x = _gather_se3(factors, values, 0)
+    rot_p = np.array([f.prior.rot.mat for f in factors])
+    t_p = np.array([f.prior.t for f in factors])
+    raw = se3_ops.batch_log(*se3_ops.batch_between(rot_p, t_p, rot_x, t_x))
+    return [batch_se3_right_jacobian_inverse(raw)], raw
+
+
+def _between_se3(factors: Sequence[Factor], values):
+    rot1, t1 = _gather_se3(factors, values, 0)
+    rot2, t2 = _gather_se3(factors, values, 1)
+    # ``_measured_inv.rot.mat`` is a transposed view (``SO3(mat.T)`` from
+    # ``measured.inverse()``); keep that layout so the compose matmul hits
+    # the same BLAS path as the scalar code (see ``_assemble``).
+    rot_mi = np.transpose(
+        np.array([f._measured_inv.rot.mat.T for f in factors]), (0, 2, 1))
+    t_mi = np.array([f._measured_inv.t for f in factors])
+    rel_rot, rel_t = se3_ops.batch_between(rot1, t1, rot2, t2)
+    raw = se3_ops.batch_log(
+        *se3_ops.batch_compose(rot_mi, t_mi, rel_rot, rel_t))
+    jr_inv = batch_se3_right_jacobian_inverse(raw)
+    adj = se3_ops.batch_adjoint(*se3_ops.batch_inverse(rel_rot, rel_t))
+    jac1 = np.matmul(-jr_inv, adj)
+    return [jac1, jr_inv], raw
+
+
+def _prior_point2(factors: Sequence[Factor], values):
+    v = np.array([values.at(f.keys[0]).v for f in factors])
+    prior = np.array([f.prior.v for f in factors])
+    raw = v - prior
+    jac = np.broadcast_to(np.eye(2), (len(factors), 2, 2))
+    return [jac], raw
+
+
+def _bearing_range(factors: Sequence[Factor], values):
+    t_pose, th = _gather_se2(factors, values, 0)
+    pv = np.array([values.at(f.keys[1]).v for f in factors])
+    inv_rot = batch_matrix(batch_wrap_angle(-th))
+    d = mv(inv_rot, pv - t_pose)
+    # ``np.arctan2`` is not bit-equal to ``math.atan2``; evaluate the
+    # bearing per element exactly as the scalar factor does.
+    bearing = np.array([math.atan2(d1, d0) for d0, d1 in d])
+    rng = row_norm(d)
+    meas_b = np.array([f.bearing for f in factors])
+    meas_r = np.array([f.range for f in factors])
+    raw = np.stack(
+        [batch_wrap_angle(bearing - meas_b), rng - meas_r], axis=1)
+    rho2 = row_dot(d, d)
+    rho = np.sqrt(rho2)
+    if np.any(rho < 1e-9):
+        raise ValueError("landmark coincides with the pose")
+    n = len(factors)
+    front = np.empty((n, 2, 2))
+    front[:, 0, 0] = -d[:, 1] / rho2
+    front[:, 0, 1] = d[:, 0] / rho2
+    front[:, 1, 0] = d[:, 0] / rho
+    front[:, 1, 1] = d[:, 1] / rho
+    gen_d = np.matmul(_GEN, d[:, :, None])[:, :, 0]
+    dd_pose = np.empty((n, 2, 3))
+    dd_pose[:, :, :2] = -np.eye(2)
+    dd_pose[:, :, 2] = -gen_d
+    return [np.matmul(front, dd_pose), np.matmul(front, inv_rot)], raw
+
+
+_KERNELS = {
+    PriorFactorSE2: _prior_se2,
+    BetweenFactorSE2: _between_se2,
+    PriorFactorSE3: _prior_se3,
+    BetweenFactorSE3: _between_se3,
+    PriorFactorPoint2: _prior_point2,
+    BearingRangeFactor2D: _bearing_range,
+}
+
+
+def _assemble(factors: Sequence[Factor], jac_blocks: List[np.ndarray],
+              raw: np.ndarray,
+              position_of: Dict[Key, int]) -> List[FactorContribution]:
+    """Whiten a group and form every ``J^T J`` / ``J^T b`` in one pass."""
+    n = len(factors)
+    # ``GaussianNoise.sqrt_info`` is a transposed view (``cholesky(...).T``)
+    # and BLAS picks its kernel from operand strides, so whitening through
+    # a C-contiguous copy drifts in the last ulp.  Gather the transpose
+    # (recovering the underlying layout) and matmul through transposed
+    # views so every slice hits the same BLAS path as the scalar code.
+    sqrt_info = np.transpose(
+        np.array([f.noise.sqrt_info.T for f in factors]), (0, 2, 1))
+    scales = np.ones(n)
+    for i, factor in enumerate(factors):
+        weight_fn = getattr(factor.noise, "weight", None)
+        if weight_fn is not None:
+            scales[i] = math.sqrt(weight_fn(raw[i]))
+    white = [scales[:, None, None] * np.matmul(sqrt_info, jac)
+             for jac in jac_blocks]
+    rhs = (-scales)[:, None] * mv(sqrt_info, raw)
+    if len(white) == 1:
+        stacked = white[0]
+        positions = [[position_of[f.keys[0]]] for f in factors]
+    else:
+        b0, b1 = white
+        d0, d1 = b0.shape[2], b1.shape[2]
+        pos0 = [position_of[f.keys[0]] for f in factors]
+        pos1 = [position_of[f.keys[1]] for f in factors]
+        stacked = np.empty((n, raw.shape[1], d0 + d1))
+        swap = np.array([p0 > p1 for p0, p1 in zip(pos0, pos1)])
+        keep = ~swap
+        if np.any(keep):
+            stacked[keep, :, :d0] = b0[keep]
+            stacked[keep, :, d0:] = b1[keep]
+        if np.any(swap):
+            stacked[swap, :, :d1] = b1[swap]
+            stacked[swap, :, d1:] = b0[swap]
+        positions = [sorted(pair) for pair in zip(pos0, pos1)]
+    stacked_t = np.transpose(stacked, (0, 2, 1))
+    hessians = np.matmul(stacked_t, stacked)
+    gradients = np.matmul(stacked_t, rhs[:, :, None])[:, :, 0]
+    residual_dim = raw.shape[1]
+    return [
+        FactorContribution(positions[i], hessians[i], gradients[i],
+                           residual_dim=residual_dim)
+        for i in range(n)
+    ]
+
+
+def batchable(factor: Factor) -> bool:
+    """True when ``factor`` takes the batched path (see module docs)."""
+    return (type(factor) in _KERNELS
+            and type(factor.noise) in _BATCHABLE_NOISE
+            and len(set(factor.keys)) == len(factor.keys))
+
+
+def linearize_many(
+    factors: Iterable[Factor], values, position_of: Dict[Key, int],
+) -> Tuple[List[FactorContribution], int, int]:
+    """Linearize ``factors`` at ``values``, batching homogeneous groups.
+
+    Returns ``(contributions, n_batched, n_fallback)`` with the
+    contributions in the same order as the input factors.
+    """
+    factors = list(factors)
+    contributions: List[FactorContribution] = [None] * len(factors)
+    groups: Dict[type, List[int]] = {}
+    fallback: List[int] = []
+    for i, factor in enumerate(factors):
+        if batchable(factor):
+            groups.setdefault(type(factor), []).append(i)
+        else:
+            fallback.append(i)
+    for ftype, indices in groups.items():
+        group = [factors[i] for i in indices]
+        jac_blocks, raw = _KERNELS[ftype](group, values)
+        for i, contribution in zip(
+                indices, _assemble(group, jac_blocks, raw, position_of)):
+            contributions[i] = contribution
+    for i in fallback:
+        blocks, rhs = factors[i].linearize(values)
+        contributions[i] = contribution_from_blocks(position_of, blocks, rhs)
+    return contributions, len(factors) - len(fallback), len(fallback)

@@ -9,6 +9,7 @@ exactly the failure mode Table 4 and Fig. 12 show.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -23,7 +24,7 @@ from repro.linalg.cholesky import MultifrontalCholesky
 from repro.linalg.symbolic import SymbolicFactorization
 from repro.linalg.trace import OpTrace
 from repro.solvers.base import StepReport
-from repro.solvers.linearize import linearize_graph
+from repro.solvers.batch_linearize import linearize_many
 from repro.state import BlockVector
 
 
@@ -177,8 +178,12 @@ class FixedLagSmoother:
             for f in self.graph.factors()]
         symbolic = SymbolicFactorization(dims, factor_positions)
         for iteration in range(self.iterations):
-            contributions = linearize_graph(
+            start = time.perf_counter()
+            contributions, n_batched, n_fallback = linearize_many(
                 self.graph.factors(), self.values, position_of)
+            ctx.lin_seconds += time.perf_counter() - start
+            ctx.lin_batched += n_batched
+            ctx.lin_fallback += n_fallback
             solver = MultifrontalCholesky(symbolic, damping=self.damping)
             last = iteration == self.iterations - 1
             trace = ctx.trace if last else None

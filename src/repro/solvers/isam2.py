@@ -27,6 +27,7 @@ Python loops.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -46,7 +47,7 @@ from repro.linalg.frontal import (
 )
 from repro.linalg.trace import OpKind, OpTrace
 from repro.solvers.base import StepReport
-from repro.solvers.linearize import linearize_factor
+from repro.solvers.batch_linearize import linearize_many
 from repro.state import BlockVector
 
 
@@ -183,8 +184,8 @@ class IncrementalEngine:
         ctx = context if context is not None else StepContext(trace)
         affected: Set[int] = set()
         affected |= self._add_variables(new_values)
-        affected |= self._add_factors(new_factors)
-        relin_factors, relin_touched = self._relinearize(relin_keys)
+        affected |= self._add_factors(new_factors, ctx)
+        relin_factors, relin_touched = self._relinearize(relin_keys, ctx)
         affected |= relin_touched
 
         sym_affected = self._resolve_structure(affected)
@@ -230,22 +231,33 @@ class IncrementalEngine:
             affected.add(pos)
         return affected
 
-    def _add_factors(self, new_factors: Sequence[Factor]) -> Set[int]:
+    def _add_factors(self, new_factors: Sequence[Factor],
+                     ctx: StepContext) -> Set[int]:
         affected: Set[int] = set()
+        indices: List[int] = []
         for factor in new_factors:
             index = self.graph.add(factor)
             positions = sorted(self.pos_of[k] for k in factor.keys)
             if len(positions) > 1:
                 self._a_struct[positions[0]].update(positions[1:])
             self._factors_at.setdefault(positions[0], []).append(index)
-            contrib = linearize_factor(factor, self.theta, self.pos_of)
+            affected.update(positions)
+            indices.append(index)
+        if not indices:
+            return affected
+        start = time.perf_counter()
+        contributions, n_batched, n_fallback = linearize_many(
+            new_factors, self.theta, self.pos_of)
+        ctx.lin_seconds += time.perf_counter() - start
+        ctx.lin_batched += n_batched
+        ctx.lin_fallback += n_fallback
+        for index, contrib in zip(indices, contributions):
             self._lin[index] = contrib
             self._apply_gradient(contrib, sign=1.0)
-            affected.update(positions)
         return affected
 
-    def _relinearize(self,
-                     relin_keys: Iterable[Key]) -> Tuple[int, Set[int]]:
+    def _relinearize(self, relin_keys: Iterable[Key],
+                     ctx: StepContext) -> Tuple[int, Set[int]]:
         touched: Set[int] = set()
         factor_set: Set[int] = set()
         for key in set(relin_keys):
@@ -255,11 +267,22 @@ class IncrementalEngine:
             self.delta.zero_block(pos)
             touched.add(pos)
             factor_set.update(self.graph.factors_of(key))
-        for index in factor_set:
+        indices = list(factor_set)
+        if not indices:
+            return 0, touched
+        start = time.perf_counter()
+        contributions, n_batched, n_fallback = linearize_many(
+            [self.graph.factor(i) for i in indices], self.theta,
+            self.pos_of)
+        ctx.lin_seconds += time.perf_counter() - start
+        ctx.lin_batched += n_batched
+        ctx.lin_fallback += n_fallback
+        # The gradient updates stay interleaved per factor (-old, +new, in
+        # factor order) so the float accumulation order — and thus every
+        # bit of the gradient — matches the per-factor path.
+        for index, new in zip(indices, contributions):
             old = self._lin[index]
             self._apply_gradient(old, sign=-1.0)
-            new = linearize_factor(self.graph.factor(index), self.theta,
-                                   self.pos_of)
             self._lin[index] = new
             self._apply_gradient(new, sign=1.0)
             touched.update(new.positions)

@@ -1,4 +1,11 @@
-"""Linearization of a factor graph into per-factor Hessian contributions."""
+"""Linearization of a factor graph into per-factor Hessian contributions.
+
+``linearize_factor`` is the scalar reference path (one factor at a
+time).  ``linearize_graph`` routes through the batched engine
+(:mod:`repro.solvers.batch_linearize`), which groups homogeneous factors
+and evaluates each group with vectorized geometry kernels while
+producing bit-identical contributions.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from typing import Dict, Iterable, List
 from repro.factorgraph.factors import Factor
 from repro.factorgraph.keys import Key
 from repro.linalg.cholesky import FactorContribution, contribution_from_blocks
+from repro.solvers.batch_linearize import linearize_many
 
 
 def linearize_factor(factor: Factor, values,
@@ -18,5 +26,6 @@ def linearize_factor(factor: Factor, values,
 
 def linearize_graph(factors: Iterable[Factor], values,
                     position_of: Dict[Key, int]) -> List[FactorContribution]:
-    """Linearize every factor at the current values."""
-    return [linearize_factor(f, values, position_of) for f in factors]
+    """Linearize every factor at the current values (batched by group)."""
+    contributions, _, _ = linearize_many(factors, values, position_of)
+    return contributions

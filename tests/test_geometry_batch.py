@@ -1,0 +1,209 @@
+"""Property tests: batched geometry kernels vs their scalar counterparts.
+
+Every ``batch_*`` kernel promises *bit-identical* results to the scalar
+op applied per element (the contract that keeps the batched
+linearization engine byte-exact, see
+:mod:`repro.solvers.batch_linearize`).  Randomized inputs sweep the
+general regime, the small-angle Taylor branches, and the near-pi
+``SO3.log`` fallback; every property is also exercised at the N=0 and
+N=1 edge batches.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import SE2, SE3
+from repro.geometry import se2 as se2_ops
+from repro.geometry import se3 as se3_ops
+from repro.geometry import so3 as so3_ops
+from repro.geometry.batch_ops import mv, row_dot, row_norm
+from repro.geometry.jacobians import (
+    _se3_q_matrix,
+    batch_se3_left_jacobian_inverse,
+    batch_se3_q_matrix,
+    batch_se3_right_jacobian_inverse,
+    batch_so3_left_jacobian,
+    batch_so3_left_jacobian_inverse,
+    se3_left_jacobian_inverse,
+    se3_right_jacobian_inverse,
+    so3_left_jacobian,
+    so3_left_jacobian_inverse,
+)
+from repro.geometry.so2 import (
+    SO2,
+    batch_compose as so2_batch_compose,
+    batch_matrix,
+    batch_wrap_angle,
+    wrap_angle,
+)
+from repro.geometry.so3 import SO3, batch_skew, batch_unskew, skew, unskew
+
+SIZES = (0, 1, 33)
+
+
+def _tangents(rng, n: int, dim: int) -> np.ndarray:
+    """Tangent vectors mixing general, small-angle and near-pi regimes."""
+    out = rng.normal(size=(n, dim)) * 1.5
+    if n >= 3:
+        out[0] *= 1e-11          # small-angle Taylor branch
+        out[1] = 0.0             # exactly zero
+        if dim in (3, 6):
+            axis = rng.normal(size=3)
+            axis /= np.linalg.norm(axis)
+            out[2, -3:] = axis * (math.pi - 1e-8)   # near-pi fallback
+    return out
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_so2_kernels(n):
+    rng = np.random.default_rng(n)
+    raw = rng.normal(size=n) * 4.0
+    assert np.array_equal(batch_wrap_angle(raw),
+                          [wrap_angle(t) for t in raw])
+    # Batch kernels consume angles as SO2 stores them: already wrapped.
+    rots = [SO2(t) for t in raw]
+    others = [SO2(t) for t in rng.normal(size=n) * 4.0]
+    theta = np.array([r.theta for r in rots]).reshape(n)
+    other = np.array([r.theta for r in others]).reshape(n)
+    mats = batch_matrix(theta)
+    assert mats.shape == (n, 2, 2)
+    for i in range(n):
+        assert np.array_equal(mats[i], rots[i].matrix())
+    assert np.array_equal(
+        so2_batch_compose(theta, other),
+        [a.compose(b).theta for a, b in zip(rots, others)])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_so3_kernels(n):
+    rng = np.random.default_rng(10 + n)
+    omega = _tangents(rng, n, 3)
+    hats = batch_skew(omega)
+    assert hats.shape == (n, 3, 3)
+    for i in range(n):
+        assert np.array_equal(hats[i], skew(omega[i]))
+    assert np.array_equal(batch_unskew(hats),
+                          np.array([unskew(h) for h in hats]).reshape(n, 3))
+
+    rots = so3_ops.batch_exp(omega)
+    scalar_rots = [SO3.exp(w) for w in omega]
+    for i in range(n):
+        assert np.array_equal(rots[i], scalar_rots[i].mat)
+    logs = so3_ops.batch_log(rots)
+    for i in range(n):
+        assert np.array_equal(logs[i], scalar_rots[i].log())
+
+    other = so3_ops.batch_exp(_tangents(rng, n, 3))
+    composed = so3_ops.batch_compose(rots, other)
+    for i in range(n):
+        assert np.array_equal(composed[i], rots[i] @ other[i])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_se2_kernels(n):
+    rng = np.random.default_rng(20 + n)
+    xi = _tangents(rng, n, 3)
+    xi2 = _tangents(rng, n, 3)
+    t, theta = se2_ops.batch_exp(xi)
+    poses = [SE2.exp(v) for v in xi]
+    others = [SE2.exp(v) for v in xi2]
+    t2, theta2 = se2_ops.batch_exp(xi2)
+    for i in range(n):
+        assert np.array_equal(t[i], poses[i].t)
+        assert theta[i] == poses[i].theta
+
+    assert np.array_equal(se2_ops.batch_log(t, theta),
+                          np.array([p.log() for p in poses]).reshape(n, 3))
+
+    for name, batch, scalar in (
+        ("compose", se2_ops.batch_compose(t, theta, t2, theta2),
+         [a.compose(b) for a, b in zip(poses, others)]),
+        ("inverse", se2_ops.batch_inverse(t, theta),
+         [p.inverse() for p in poses]),
+        ("between", se2_ops.batch_between(t, theta, t2, theta2),
+         [a.between(b) for a, b in zip(poses, others)]),
+    ):
+        bt, btheta = batch
+        for i in range(n):
+            assert np.array_equal(bt[i], scalar[i].t), name
+            assert btheta[i] == scalar[i].theta, name
+
+    local = se2_ops.batch_local(t, theta, t2, theta2)
+    adj = se2_ops.batch_adjoint(t, theta)
+    for i in range(n):
+        assert np.array_equal(local[i], poses[i].local(others[i]))
+        assert np.array_equal(adj[i], poses[i].adjoint())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_se3_kernels(n):
+    rng = np.random.default_rng(30 + n)
+    xi = _tangents(rng, n, 6)
+    xi2 = _tangents(rng, n, 6)
+    rot, t = se3_ops.batch_exp(xi)
+    rot2, t2 = se3_ops.batch_exp(xi2)
+    poses = [SE3.exp(v) for v in xi]
+    others = [SE3.exp(v) for v in xi2]
+    for i in range(n):
+        assert np.array_equal(rot[i], poses[i].rot.mat)
+        assert np.array_equal(t[i], poses[i].t)
+
+    assert np.array_equal(se3_ops.batch_log(rot, t),
+                          np.array([p.log() for p in poses]).reshape(n, 6))
+
+    for name, batch, scalar in (
+        ("compose", se3_ops.batch_compose(rot, t, rot2, t2),
+         [a.compose(b) for a, b in zip(poses, others)]),
+        ("inverse", se3_ops.batch_inverse(rot, t),
+         [p.inverse() for p in poses]),
+        ("between", se3_ops.batch_between(rot, t, rot2, t2),
+         [a.between(b) for a, b in zip(poses, others)]),
+    ):
+        brot, bt = batch
+        for i in range(n):
+            assert np.array_equal(brot[i], scalar[i].rot.mat), name
+            assert np.array_equal(bt[i], scalar[i].t), name
+
+    adj = se3_ops.batch_adjoint(rot, t)
+    for i in range(n):
+        assert np.array_equal(adj[i], poses[i].adjoint())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_jacobian_kernels(n):
+    rng = np.random.default_rng(40 + n)
+    omega = _tangents(rng, n, 3)
+    xi = _tangents(rng, n, 6)
+    for batch, scalar in (
+        (batch_so3_left_jacobian(omega), so3_left_jacobian),
+        (batch_so3_left_jacobian_inverse(omega), so3_left_jacobian_inverse),
+    ):
+        assert batch.shape == (n, 3, 3)
+        for i in range(n):
+            assert np.array_equal(batch[i], scalar(omega[i]))
+
+    q = batch_se3_q_matrix(xi[:, :3], xi[:, 3:])
+    jl = batch_se3_left_jacobian_inverse(xi)
+    jr = batch_se3_right_jacobian_inverse(xi)
+    for i in range(n):
+        assert np.array_equal(q[i], _se3_q_matrix(xi[i, :3], xi[i, 3:]))
+        assert np.array_equal(jl[i], se3_left_jacobian_inverse(xi[i]))
+        assert np.array_equal(jr[i], se3_right_jacobian_inverse(xi[i]))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_batch_ops(n):
+    rng = np.random.default_rng(50 + n)
+    mats = rng.normal(size=(n, 4, 3))
+    vecs = rng.normal(size=(n, 3))
+    other = rng.normal(size=(n, 3))
+    out = mv(mats, vecs)
+    assert out.shape == (n, 4)
+    dots = row_dot(vecs, other)
+    norms = row_norm(vecs)
+    for i in range(n):
+        assert np.array_equal(out[i], mats[i] @ vecs[i])
+        assert dots[i] == vecs[i] @ other[i]
+        assert norms[i] == np.linalg.norm(vecs[i])

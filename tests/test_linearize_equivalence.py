@@ -1,0 +1,213 @@
+"""Gating dual-path equivalence: batched vs per-factor linearization.
+
+The batched engine (:mod:`repro.solvers.batch_linearize`) promises
+*bit-identical* contributions to the scalar reference path
+(``linearize_factor``), for every supported factor/noise combination —
+that contract is what keeps the committed benchmark results
+byte-identical.  These tests sweep randomized factors of every type
+through both paths and compare exactly (``np.array_equal``, strictly
+stronger than the repo's usual 1e-9 tolerance), and pin the fallback
+contract for everything the batch kernels do not cover.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.factorgraph.factors import (
+    BetweenFactorSE2,
+    BetweenFactorSE3,
+    PriorFactorSE2,
+    PriorFactorSE3,
+)
+from repro.factorgraph.landmark_factors import (
+    BearingRangeFactor2D,
+    PriorFactorPoint2,
+)
+from repro.factorgraph.noise import (
+    DiagonalNoise,
+    GaussianNoise,
+    IsotropicNoise,
+)
+from repro.factorgraph.robust import CauchyNoise, HuberNoise
+from repro.factorgraph.values import Values
+from repro.geometry import SE2, SE3, Point2
+from repro.solvers import ISAM2
+from repro.solvers.batch_linearize import batchable, linearize_many
+from repro.solvers.fixed_lag import LinearizedGaussianFactor
+from repro.solvers.linearize import linearize_factor
+
+
+def _noise(rng, dim: int, kind: str):
+    if kind == "gaussian":
+        a = rng.normal(size=(dim, dim))
+        return GaussianNoise(a @ a.T + dim * np.eye(dim))
+    if kind == "diagonal":
+        return DiagonalNoise(rng.uniform(0.05, 0.5, size=dim))
+    if kind == "isotropic":
+        return IsotropicNoise(dim, rng.uniform(0.05, 0.5))
+    if kind == "huber":
+        a = rng.normal(size=(dim, dim))
+        return HuberNoise(GaussianNoise(a @ a.T + dim * np.eye(dim)),
+                          k=rng.uniform(0.5, 2.0))
+    if kind == "huber_diag":
+        return HuberNoise(DiagonalNoise(rng.uniform(0.05, 0.5, size=dim)),
+                          k=rng.uniform(0.5, 2.0))
+    if kind == "cauchy":
+        return CauchyNoise(IsotropicNoise(dim, rng.uniform(0.05, 0.5)),
+                           k=rng.uniform(0.5, 2.0))
+    raise AssertionError(kind)
+
+
+_NOISE_KINDS = ("gaussian", "diagonal", "isotropic", "huber",
+                "huber_diag", "cauchy")
+
+
+def _random_problem(seed: int, per_combo: int = 3):
+    """Mixed values + factors covering every (type, noise) combination."""
+    rng = np.random.default_rng(seed)
+    values = Values()
+    n_se2, n_se3, n_pt = 8, 8, 4
+    for i in range(n_se2):
+        values.insert(i, SE2.exp(rng.normal(size=3)))
+    for i in range(n_se3):
+        values.insert(100 + i, SE3.exp(rng.normal(size=6) * 0.8))
+    for i in range(n_pt):
+        values.insert(200 + i, Point2(rng.normal(size=2) * 3.0))
+
+    factors = []
+    for kind in _NOISE_KINDS:
+        for _ in range(per_combo):
+            k1, k2 = rng.choice(n_se2, size=2, replace=False)
+            factors.append(PriorFactorSE2(
+                int(k1), SE2.exp(rng.normal(size=3)), _noise(rng, 3, kind)))
+            # Both key orderings: ascending and descending elimination
+            # positions exercise the column-swap in the assembler.
+            factors.append(BetweenFactorSE2(
+                int(k1), int(k2), SE2.exp(rng.normal(size=3) * 0.3),
+                _noise(rng, 3, kind)))
+            k1, k2 = rng.choice(n_se3, size=2, replace=False)
+            factors.append(PriorFactorSE3(
+                100 + int(k1), SE3.exp(rng.normal(size=6) * 0.8),
+                _noise(rng, 6, kind)))
+            factors.append(BetweenFactorSE3(
+                100 + int(k1), 100 + int(k2),
+                SE3.exp(rng.normal(size=6) * 0.3), _noise(rng, 6, kind)))
+            pt = int(rng.choice(n_pt))
+            factors.append(PriorFactorPoint2(
+                200 + pt, Point2(rng.normal(size=2)), _noise(rng, 2, kind)))
+            factors.append(BearingRangeFactor2D(
+                int(k1 % n_se2), 200 + pt, rng.uniform(-math.pi, math.pi),
+                rng.uniform(0.5, 5.0), _noise(rng, 2, kind)))
+    # Interleave types so grouping has to reassemble the original order.
+    rng.shuffle(factors)
+    position_of = {k: i for i, k in enumerate(sorted(values.keys()))}
+    return values, factors, position_of
+
+
+def _assert_identical(got, ref):
+    assert got.positions == ref.positions
+    assert got.residual_dim == ref.residual_dim
+    assert np.array_equal(got.hessian, ref.hessian)
+    assert np.array_equal(got.gradient, ref.gradient)
+
+
+@pytest.mark.parametrize("seed", [7, 11, 99, 2024])
+def test_dual_path_bit_identical(seed):
+    values, factors, position_of = _random_problem(seed)
+    reference = [linearize_factor(f, values, position_of) for f in factors]
+    contributions, n_batched, n_fallback = linearize_many(
+        factors, values, position_of)
+    assert n_batched == len(factors)
+    assert n_fallback == 0
+    assert len(contributions) == len(reference)
+    for got, ref in zip(contributions, reference):
+        _assert_identical(got, ref)
+
+
+def test_single_factor_batches_exactly():
+    values, factors, position_of = _random_problem(5, per_combo=1)
+    for factor in factors:
+        contributions, n_batched, n_fallback = linearize_many(
+            [factor], values, position_of)
+        assert (n_batched, n_fallback) == (1, 0)
+        _assert_identical(contributions[0],
+                          linearize_factor(factor, values, position_of))
+
+
+def test_empty_input():
+    values, _, position_of = _random_problem(5, per_combo=1)
+    assert linearize_many([], values, position_of) == ([], 0, 0)
+
+
+class _ShiftedPrior(PriorFactorSE2):
+    """Subclass overriding the residual: must take the scalar path."""
+
+    def error_vector(self, values):
+        return super().error_vector(values) + 0.5
+
+
+class _ScaledNoise(GaussianNoise):
+    """Noise subclass overriding whitening: must take the scalar path."""
+
+    def whiten(self, residual):
+        return 2.0 * super().whiten(residual)
+
+    def whiten_jacobian(self, jacobian):
+        return 2.0 * super().whiten_jacobian(jacobian)
+
+
+def test_fallback_contract():
+    rng = np.random.default_rng(3)
+    values = Values()
+    for i in range(3):
+        values.insert(i, SE2.exp(rng.normal(size=3)))
+    position_of = {k: i for i, k in enumerate(sorted(values.keys()))}
+
+    subclassed = _ShiftedPrior(0, SE2.exp(rng.normal(size=3)),
+                               IsotropicNoise(3, 0.1))
+    custom_noise = PriorFactorSE2(1, SE2.exp(rng.normal(size=3)),
+                                  _ScaledNoise(0.04 * np.eye(3)))
+    duplicate = BetweenFactorSE2(2, 2, SE2.exp(rng.normal(size=3) * 0.1),
+                                 IsotropicNoise(3, 0.1))
+    marginal = LinearizedGaussianFactor(
+        [0, 1, 2], {k: values.at(k) for k in range(3)},
+        rng.normal(size=(4, 9)), rng.normal(size=4))
+    batched_ok = BetweenFactorSE2(0, 1, SE2.exp(rng.normal(size=3) * 0.1),
+                                  IsotropicNoise(3, 0.1))
+
+    for factor in (subclassed, custom_noise, duplicate, marginal):
+        assert not batchable(factor)
+    assert batchable(batched_ok)
+
+    factors = [subclassed, batched_ok, custom_noise, duplicate, marginal]
+    reference = [linearize_factor(f, values, position_of) for f in factors]
+    contributions, n_batched, n_fallback = linearize_many(
+        factors, values, position_of)
+    assert (n_batched, n_fallback) == (1, 4)
+    for got, ref in zip(contributions, reference):
+        _assert_identical(got, ref)
+
+
+def test_step_report_exposes_linearization_counters():
+    rng = np.random.default_rng(17)
+    solver = ISAM2(relin_threshold=1e-6)
+    pose = SE2.identity()
+    noise = DiagonalNoise(np.array([0.05, 0.05, 0.02]))
+    report = solver.update(
+        {0: pose}, [PriorFactorSE2(0, pose, noise)])
+    total_batched = report.extras["lin_batched_factors"]
+    for step in range(1, 8):
+        motion = SE2.exp(np.array([1.0, 0.0, 0.2]) +
+                         rng.normal(size=3) * 0.02)
+        pose = pose.compose(motion)
+        report = solver.update(
+            {step: pose},
+            [BetweenFactorSE2(step - 1, step, motion, noise)])
+        assert report.extras["lin_seconds"] >= 0.0
+        assert report.extras["lin_fallback_factors"] == 0.0
+        total_batched += report.extras["lin_batched_factors"]
+    # New-factor ingestion alone batches one factor per step; fluid
+    # relinearization (threshold ~0) adds more on loopy steps.
+    assert total_batched >= 8.0
