@@ -156,6 +156,12 @@ def cmd_simulate(args) -> int:
           f"p95 {1e3 * stats.p95:.3f} ms, max {1e3 * stats.maximum:.3f} ms")
     print(f"target {args.target_ms} ms, misses "
           f"{100 * stats.miss_rate:.1f}%")
+    hits = sum(r.extras.get("plan_hits", 0.0) for r in run.reports)
+    compiles = sum(r.extras.get("plan_compiles", 0.0) for r in run.reports)
+    total = hits + compiles
+    rate = 100.0 * hits / total if total else 0.0
+    print(f"step plans: {int(hits)} hits, {int(compiles)} compiles "
+          f"({rate:.1f}% reused)")
     return 0
 
 

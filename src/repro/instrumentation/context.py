@@ -32,11 +32,19 @@ class StepContext:
     ``lin_seconds`` / ``lin_batched`` / ``lin_fallback``
         Wall time spent linearizing factors this step and how many
         factors took the batched vs. the per-factor scalar path.
+    ``plan_hits`` / ``plan_misses`` / ``plan_compiles``
+        Step-plan cache traffic (see :mod:`repro.linalg.plan`): how many
+        supernode refactorizations reused a compiled plan vs. missed and
+        recompiled one.
+    ``refactor_seconds``
+        Wall time spent in the plan/execute refactorize phase.
     """
 
     __slots__ = ("trace", "step", "is_last", "relin_variables",
                  "relin_factors", "symbolic", "numeric", "backsub",
-                 "lin_seconds", "lin_batched", "lin_fallback", "extras")
+                 "lin_seconds", "lin_batched", "lin_fallback",
+                 "plan_hits", "plan_misses", "plan_compiles",
+                 "refactor_seconds", "extras")
 
     def __init__(self, trace: Optional[OpTrace] = None, step: int = 0,
                  is_last: bool = False):
@@ -51,6 +59,10 @@ class StepContext:
         self.lin_seconds = 0.0
         self.lin_batched = 0
         self.lin_fallback = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_compiles = 0
+        self.refactor_seconds = 0.0
         self.extras: Dict[str, float] = {}
 
     @property
@@ -77,6 +89,10 @@ class StepContext:
         extras.setdefault("lin_seconds", float(self.lin_seconds))
         extras.setdefault("lin_batched_factors", float(self.lin_batched))
         extras.setdefault("lin_fallback_factors", float(self.lin_fallback))
+        extras.setdefault("plan_hits", float(self.plan_hits))
+        extras.setdefault("plan_misses", float(self.plan_misses))
+        extras.setdefault("plan_compiles", float(self.plan_compiles))
+        extras.setdefault("refactor_seconds", float(self.refactor_seconds))
         return StepReport(
             step=step,
             relinearized_variables=self.relin_variables,

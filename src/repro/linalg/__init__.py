@@ -8,7 +8,10 @@ Implements paper Section 3.2/3.3 from scratch:
   matrix, extend-add merge into the parent),
 * forward/backward triangular solves over the tree,
 * an operation trace of every numeric and memory operation, which the
-  hardware simulator replays cycle-accurately.
+  hardware simulator replays cycle-accurately,
+* a plan/execute split (:mod:`repro.linalg.plan`): per-supernode
+  symbolic steps compiled once into cached ``NodePlan`` objects and run
+  by a shared vectorized ``StepExecutor``.
 """
 
 from repro.linalg.ordering import (
@@ -19,6 +22,15 @@ from repro.linalg.ordering import (
 from repro.linalg.symbolic import SymbolicFactorization, Supernode
 from repro.linalg.cholesky import MultifrontalCholesky
 from repro.linalg.marginals import marginal_covariance, marginal_covariances
+from repro.linalg.plan import (
+    NodePlan,
+    PlanCache,
+    StepExecutor,
+    compile_node_plan,
+    node_signature,
+    plans_equal,
+    tree_solve,
+)
 from repro.linalg.trace import Op, OpKind, OpTrace, NodeTrace
 
 __all__ = [
@@ -30,6 +42,13 @@ __all__ = [
     "SymbolicFactorization",
     "Supernode",
     "MultifrontalCholesky",
+    "NodePlan",
+    "PlanCache",
+    "StepExecutor",
+    "compile_node_plan",
+    "node_signature",
+    "plans_equal",
+    "tree_solve",
     "Op",
     "OpKind",
     "OpTrace",

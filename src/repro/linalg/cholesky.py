@@ -5,23 +5,33 @@ where H is assembled supernode-by-supernode from per-factor Hessian
 contributions (paper Fig. 5 top) and factorized bottom-up over the
 elimination tree.  Emits an :class:`~repro.linalg.trace.OpTrace` mirroring
 every numeric and memory operation for the hardware simulator.
+
+Assembly and the triangular sweeps run through the shared plan/execute
+layer (:mod:`repro.linalg.plan`): each supernode's step is compiled once
+into a :class:`~repro.linalg.plan.NodePlan` (lazily, at the first
+``factorize`` that sees its factor assignment) and cached, so repeated
+factorizations over the same structure — e.g. successive Gauss-Newton
+iterations — skip the symbolic work entirely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-import scipy.linalg
 
-from repro.linalg.frontal import (
-    factorize_front,
-    front_offsets,
-    gather_indices,
-    scatter_add_block,
+from repro.linalg.frontal import gather_indices
+from repro.linalg.plan import (
+    PlanCache,
+    StepExecutor,
+    compile_node_plan,
+    node_signature,
+    plans_equal,
+    tree_solve,
 )
 from repro.linalg.symbolic import SymbolicFactorization
-from repro.linalg.trace import OpKind, OpTrace
+from repro.linalg.trace import OpTrace
+from repro.validate import current_auditor
 
 
 class FactorContribution:
@@ -72,7 +82,8 @@ class MultifrontalCholesky:
         Optional Levenberg-style diagonal damping added to H.
     """
 
-    def __init__(self, symbolic: SymbolicFactorization, damping: float = 0.0):
+    def __init__(self, symbolic: SymbolicFactorization, damping: float = 0.0,
+                 plan_cache: Optional[PlanCache] = None):
         self.symbolic = symbolic
         self.damping = float(damping)
         dims = symbolic.dims
@@ -80,9 +91,6 @@ class MultifrontalCholesky:
             symbolic.supernodes)
         self._l_b: List[Optional[np.ndarray]] = [None] * len(
             symbolic.supernodes)
-        self._offsets: List[Dict[int, int]] = []
-        self._m: List[int] = []
-        self._front: List[int] = []
         # Contiguous block-state layout: one flat buffer per vector with
         # per-node scalar-index caches (see repro.state.BlockVector).
         self._scalar_off = np.concatenate(
@@ -90,15 +98,33 @@ class MultifrontalCholesky:
         self._total = int(self._scalar_off[-1])
         self._own_idx: List[np.ndarray] = []
         self._row_idx: List[np.ndarray] = []
+        # Structural signature parts are fixed by the symbolic analysis;
+        # only the per-call factor assignment varies (see factorize).
+        self._struct_sig: List[tuple] = []
         for node in symbolic.supernodes:
-            offsets, m, front = front_offsets(
-                node.positions, node.row_pattern, dims)
-            self._offsets.append(offsets)
-            self._m.append(m)
-            self._front.append(front)
             self._own_idx.append(self._flat_indices(node.positions))
             self._row_idx.append(self._flat_indices(node.row_pattern))
+            child_sig = tuple(
+                (tuple(symbolic.supernodes[c].positions),
+                 tuple(symbolic.supernodes[c].row_pattern))
+                for c in node.children)
+            self._struct_sig.append(
+                (tuple(node.positions), tuple(node.row_pattern), child_sig))
         self._gradient = np.zeros(self._total)
+        # Plans compile lazily at the first factorize; sharing a cache
+        # across solver instances (same symbolic) shares the compiles.
+        self._plans = plan_cache if plan_cache is not None else PlanCache()
+        self._executor = StepExecutor()
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The solver's step-plan cache (counters for instrumentation)."""
+        return self._plans
+
+    @property
+    def plan_counters(self) -> Tuple[int, int, int]:
+        """(hits, misses, compiles) of the step-plan cache."""
+        return self._plans.counters()
 
     def _flat_indices(self, positions: Sequence[int]) -> np.ndarray:
         if not len(positions):
@@ -115,11 +141,10 @@ class MultifrontalCholesky:
     ) -> None:
         """Assemble and factorize all supernodes bottom-up."""
         symbolic = self.symbolic
-        dims = symbolic.dims
-        node_factors: Dict[int, List[FactorContribution]] = {}
-        for contrib in contributions:
+        node_factors: Dict[int, List[int]] = {}
+        for ci, contrib in enumerate(contributions):
             sid = symbolic.node_of[contrib.positions[0]]
-            node_factors.setdefault(sid, []).append(contrib)
+            node_factors.setdefault(sid, []).append(ci)
 
         self._gradient[:] = 0.0
         for contrib in contributions:
@@ -127,47 +152,65 @@ class MultifrontalCholesky:
                       self._flat_indices(contrib.positions),
                       contrib.gradient)
 
+        aud = current_auditor()
+        executor = self._executor
         updates: Dict[int, np.ndarray] = {}
         for sid in symbolic.node_order():
             node = symbolic.supernodes[sid]
-            offsets = self._offsets[sid]
-            m = self._m[sid]
-            front_size = self._front[sid]
-            front = np.zeros((front_size, front_size))
-            node_trace = (trace.node(sid, cols=m, rows_below=front_size - m)
+            assigned = node_factors.get(sid, ())
+            plan = self._plan_for(sid, node, assigned, contributions, aud)
+            node_trace = (trace.node(sid, cols=plan.m,
+                                     rows_below=plan.front_size - plan.m)
                           if trace is not None else None)
-            if node_trace is not None:
-                node_trace.record(OpKind.MEMSET, 4 * front_size * front_size)
-
-            for contrib in node_factors.get(sid, ()):
-                idx = gather_indices(contrib.positions, dims, offsets)
-                scatter_add_block(front, idx, contrib.hessian)
-                if node_trace is not None:
-                    df = contrib.hessian.shape[0]
-                    node_trace.record(
-                        OpKind.MEMCPY,
-                        4 * contrib.residual_dim * (df + 1))
-                    node_trace.record(OpKind.GEMM, df, df,
-                                      contrib.residual_dim)
-                    node_trace.record(OpKind.SCATTER_ADD, df, df)
-
-            for child in node.children:
-                child_node = symbolic.supernodes[child]
-                child_update = updates.pop(child)
-                idx = gather_indices(child_node.row_pattern, dims, offsets)
-                scatter_add_block(front, idx, child_update)
-                if node_trace is not None:
-                    nc = child_update.shape[0]
-                    node_trace.record(OpKind.SCATTER_ADD, nc, nc)
-
-            if self.damping:
-                front[np.arange(m), np.arange(m)] += self.damping
-
-            l_a, l_b, c_update = factorize_front(front, m, node_trace)
+            l_a, l_b, c_update = executor.factorize_node(
+                plan, [contributions[ci].hessian for ci in assigned],
+                [updates.pop(child) for child in node.children],
+                self.damping, node_trace)
             self._l_a[sid] = l_a
             self._l_b[sid] = l_b
             if node.parent != -1:
                 updates[sid] = c_update
+
+    def _plan_for(self, sid: int, node, assigned: Sequence[int],
+                  contributions: Sequence[FactorContribution], aud):
+        """Resolve the supernode's compiled step: cache hit or recompile.
+
+        Keys are supernode ids (stable for a fixed symbolic analysis);
+        the factor part of the signature pins each assigned
+        contribution's index, positions and residual dim so a changed
+        factor set recompiles.
+        """
+        pos_sig, pattern_sig, child_sig = self._struct_sig[sid]
+        factor_sig = tuple(
+            (ci, tuple(contributions[ci].positions),
+             contributions[ci].residual_dim)
+            for ci in assigned)
+        signature = node_signature(pos_sig, pattern_sig, factor_sig,
+                                   child_sig)
+        plan = self._plans.lookup(sid, signature)
+        if plan is None:
+            plan = self._compile_plan(node, assigned, contributions,
+                                      signature)
+            self._plans.store(sid, plan)
+        elif aud is not None:
+            fresh_plan = self._compile_plan(node, assigned, contributions,
+                                            signature)
+            aud.check(plans_equal(plan, fresh_plan), "plan-consistency",
+                      "cached step-plan must equal a fresh recompile",
+                      sid=sid)
+        return plan
+
+    def _compile_plan(self, node, assigned: Sequence[int],
+                      contributions: Sequence[FactorContribution],
+                      signature):
+        symbolic = self.symbolic
+        return compile_node_plan(
+            node.positions, node.row_pattern, symbolic.dims,
+            self._scalar_off,
+            [(ci, contributions[ci].positions,
+              contributions[ci].residual_dim) for ci in assigned],
+            [symbolic.supernodes[c].row_pattern for c in node.children],
+            signature)
 
     def solve(self, trace: Optional[OpTrace] = None) -> List[np.ndarray]:
         """Solve ``H delta = g`` for the assembled gradient."""
@@ -190,43 +233,12 @@ class MultifrontalCholesky:
                     trace: Optional[OpTrace] = None) -> List[np.ndarray]:
         symbolic = self.symbolic
         off = self._scalar_off
-        carry = np.zeros(self._total)
-        y_store: List[Optional[np.ndarray]] = [None] * len(
-            symbolic.supernodes)
-
-        for sid in symbolic.node_order():
-            node = symbolic.supernodes[sid]
-            m = self._m[sid]
-            own = self._own_idx[sid]
-            rhs = rhs_flat[own] - carry[own]
-            y = scipy.linalg.solve_triangular(
-                self._l_a[sid], rhs, lower=True, check_finite=False)
-            y_store[sid] = y
-            node_trace = (trace.node(sid) if trace is not None else None)
-            if node_trace is not None:
-                node_trace.record(OpKind.TRSV, m)
-            if node.row_pattern:
-                spread = self._l_b[sid] @ y
-                carry[self._row_idx[sid]] += spread
-                if node_trace is not None:
-                    node_trace.record(OpKind.GEMV, len(spread), m)
-
-        x_flat = np.zeros(self._total)
-        for sid in reversed(symbolic.node_order()):
-            node = symbolic.supernodes[sid]
-            m = self._m[sid]
-            rhs = y_store[sid]
-            if node.row_pattern:
-                above = x_flat[self._row_idx[sid]]
-                rhs = rhs - self._l_b[sid].T @ above
-                if trace is not None:
-                    trace.node(sid).record(OpKind.GEMV, m, len(above))
-            x = scipy.linalg.solve_triangular(
-                self._l_a[sid], rhs, lower=True, trans="T",
-                check_finite=False)
-            if trace is not None:
-                trace.node(sid).record(OpKind.TRSV, m)
-            x_flat[self._own_idx[sid]] = x
+        entries = [
+            (sid, self._l_a[sid], self._l_b[sid], self._own_idx[sid],
+             self._row_idx[sid]
+             if symbolic.supernodes[sid].row_pattern else None)
+            for sid in symbolic.node_order()]
+        x_flat = tree_solve(entries, rhs_flat, self._total, trace)
         return [x_flat[off[p]:off[p + 1]] for p in range(symbolic.n)]
 
     def dense_l(self) -> np.ndarray:

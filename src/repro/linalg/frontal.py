@@ -11,7 +11,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-import scipy.linalg
+from scipy.linalg.lapack import dtrtrs
+
+try:
+    # np.linalg.cholesky's underlying gufunc: same code, same bits,
+    # without the wrapper's per-call type-resolution/errstate overhead.
+    from numpy.linalg import _umath_linalg as _umath
+
+    _cholesky_lo = _umath.cholesky_lo
+except (ImportError, AttributeError):  # pragma: no cover
+    _cholesky_lo = None
 
 from repro.linalg.trace import NodeTrace, OpKind
 
@@ -63,6 +72,27 @@ def scatter_add_block(front: np.ndarray, idx: np.ndarray,
     front[idx[:, None], idx] += block
 
 
+def solve_lower_triangular(l_a: np.ndarray, b: np.ndarray,
+                           trans: int = 0) -> np.ndarray:
+    """``L x = b`` (or ``L^T x = b`` with ``trans=1``) via LAPACK trtrs.
+
+    Bit-identical to ``scipy.linalg.solve_triangular(..., lower=True)``
+    but without its per-call validation overhead — the executor's solves
+    are small and frequent, so the Python wrapper dominated.  Mirrors
+    scipy's contiguity dispatch (a C-contiguous L is passed as its
+    F-contiguous transpose with ``lower``/``trans`` flipped) so both
+    entry points run the exact same LAPACK code path.
+    """
+    if l_a.flags.f_contiguous:
+        x, info = dtrtrs(l_a, b, lower=1, trans=trans)
+    else:
+        x, info = dtrtrs(l_a.T, b, lower=0, trans=1 - trans)
+    if info != 0:
+        raise SingularHessianError(
+            f"triangular solve failed (LAPACK info={info})")
+    return x
+
+
 def factorize_front(
     front: np.ndarray,
     m: int,
@@ -75,19 +105,31 @@ def factorize_front(
     """
     n_below = front.shape[0] - m
     a_block = front[:m, :m]
-    try:
-        l_a = np.linalg.cholesky(a_block)
-    except np.linalg.LinAlgError as exc:
+    # POTRF must stay on numpy's cholesky (numpy's and scipy's LAPACK
+    # builds differ in the last ulp on real fronts, so scipy's dpotrf
+    # would break the bit-identity contract).  The gufunc fills the
+    # whole factor with NaN on a non-PD block, so one diagonal probe
+    # replaces the wrapper's LinAlgError callback.
+    if _cholesky_lo is not None:
+        with np.errstate(invalid="ignore"):
+            l_a = _cholesky_lo(a_block)
+        singular = m > 0 and l_a[0, 0] != l_a[0, 0]
+    else:  # pragma: no cover
+        try:
+            l_a = np.linalg.cholesky(a_block)
+            singular = False
+        except np.linalg.LinAlgError:
+            singular = True
+    if singular:
         raise SingularHessianError(
             f"supernode diagonal block ({m}x{m}) not positive definite; "
-            "the graph may lack a prior — add one or use damping") from exc
+            "the graph may lack a prior — add one or use damping")
     if trace is not None:
         trace.record(OpKind.POTRF, m)
     if n_below:
         b_block = front[m:, :m]
         # L_B = B L_A^-T, computed as (L_A^-1 B^T)^T.
-        l_b = scipy.linalg.solve_triangular(
-            l_a, b_block.T, lower=True, check_finite=False).T
+        l_b = solve_lower_triangular(l_a, b_block.T).T
         c_update = front[m:, m:] - l_b @ l_b.T
         if trace is not None:
             trace.record(OpKind.TRSM, n_below, m)

@@ -1,0 +1,399 @@
+"""Compiled elimination step-plans and their shared numeric executor.
+
+The paper splits every backend step into a *symbolic* phase (decide the
+elimination structure) and a *numeric* phase (dense kernels over frontal
+matrices).  Before this module the engine re-derived the symbolic part
+on every refactorization: ``front_offsets`` + per-factor
+``gather_indices`` Python loops, even when the structure was unchanged —
+the overwhelmingly common case online.  Here that symbolic output is
+*compiled once* into an immutable :class:`NodePlan` per supernode and
+cached across steps (:class:`PlanCache`); a shared, stateless
+:class:`StepExecutor` then consumes plans with a handful of vectorized
+fancy-indexed operations.  Decide structure rarely, execute cheaply and
+often — the same precompiled-configuration idea as runtime-reconfigurable
+localization accelerators.
+
+Bit-identity contract
+---------------------
+Executing a plan reproduces the legacy per-factor loop *exactly*:
+
+* Each factor/child scatter uses duplicate-free frontal indices, so one
+  ``np.add.at`` over the concatenated flattened indices performs the
+  same single float add per cell, in the same factor-then-child order,
+  as the sequential ``scatter_add_block`` calls it replaces.
+* Trace-op metadata (the per-factor MEMCPY/GEMM/SCATTER_ADD dims, the
+  per-child SCATTER_ADD dims) is frozen into the plan so recorded op
+  streams are identical, record for record.
+
+Cache correctness
+-----------------
+Plans are keyed by the node's stable head position (engine) or supernode
+id (batch solver) and validated against a full structural *signature* —
+positions, row pattern, assembled factors, and the (positions, pattern)
+of every child.  Any structural change misses and recompiles; a stale
+plan can never execute.  Under an installed
+:func:`repro.validate.current_auditor`, every cache hit is additionally
+re-verified against a fresh recompile (the ``plan-consistency``
+invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.frontal import factorize_front, front_offsets, \
+    solve_lower_triangular
+from repro.linalg.trace import NodeTrace, OpKind, OpTrace
+
+#: A plan signature: (positions, pattern, factor part, child part).
+#: Opaque to this module beyond equality — callers decide how to
+#: identify factors (the engine uses graph indices, the batch solver
+#: uses (index, positions, residual_dim) triples).
+Signature = Tuple[tuple, tuple, tuple, tuple]
+
+
+def node_signature(positions: Sequence[int], pattern: Sequence[int],
+                   factor_sig: Sequence, child_sig: Sequence) -> Signature:
+    """Structural identity of one supernode's elimination step."""
+    return (tuple(positions), tuple(pattern), tuple(factor_sig),
+            tuple(child_sig))
+
+
+class NodePlan:
+    """Immutable compiled symbolic step for one supernode.
+
+    Everything the numeric executor needs that does not depend on factor
+    *values*: the front shape, concatenated flattened scatter indices
+    for factor assembly and child extend-add, flat RHS gather indices
+    into the global block state, and the trace-op dims the cost model
+    prices.
+    """
+
+    __slots__ = ("signature", "m", "front_size",
+                 "factor_ids", "factor_flat_idx", "factor_trace",
+                 "child_flat_idx", "child_sizes", "diag_idx",
+                 "pos_idx", "pattern_idx", "pattern_arr",
+                 "positions_arr", "pos_starts")
+
+    def __init__(self, signature: Signature, m: int, front_size: int,
+                 factor_ids: tuple, factor_flat_idx: np.ndarray,
+                 factor_trace: tuple, child_flat_idx: np.ndarray,
+                 child_sizes: tuple, diag_idx: np.ndarray,
+                 pos_idx: np.ndarray, pattern_idx: np.ndarray,
+                 pattern_arr: np.ndarray, positions_arr: np.ndarray,
+                 pos_starts: np.ndarray):
+        self.signature = signature
+        self.m = m
+        self.front_size = front_size
+        self.factor_ids = factor_ids
+        self.factor_flat_idx = factor_flat_idx
+        self.factor_trace = factor_trace
+        self.child_flat_idx = child_flat_idx
+        self.child_sizes = child_sizes
+        self.diag_idx = diag_idx
+        self.pos_idx = pos_idx
+        self.pattern_idx = pattern_idx
+        self.pattern_arr = pattern_arr
+        self.positions_arr = positions_arr
+        self.pos_starts = pos_starts
+
+
+def _frontal_flat(positions: Sequence[int], dims: Sequence[int],
+                  offsets: Dict[int, int], front_size: int) -> np.ndarray:
+    """Flattened front indices of the dense block over ``positions``.
+
+    Row-major raveled equivalent of ``front[idx[:, None], idx]`` for
+    ``idx = gather_indices(positions, dims, offsets)``.
+    """
+    scalars: List[int] = []
+    extend = scalars.extend
+    for p in positions:
+        base = offsets[p]
+        extend(range(base, base + dims[p]))
+    idx = np.asarray(scalars, dtype=np.intp)
+    return (idx[:, None] * front_size + idx).ravel()
+
+
+def _state_indices(positions: Sequence[int],
+                   flat_offsets: np.ndarray) -> np.ndarray:
+    """Flat scalar indices of ``positions`` in the global block state
+    (same formula as :meth:`repro.state.BlockVector.indices`)."""
+    if not len(positions):
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate([
+        np.arange(flat_offsets[p], flat_offsets[p + 1], dtype=np.intp)
+        for p in positions])
+
+
+def compile_node_plan(
+    positions: Sequence[int],
+    pattern: Sequence[int],
+    dims: Sequence[int],
+    flat_offsets: np.ndarray,
+    factors: Sequence[Tuple[object, Sequence[int], int]],
+    child_patterns: Sequence[Sequence[int]],
+    signature: Signature,
+) -> NodePlan:
+    """Compile one supernode's elimination step.
+
+    Parameters
+    ----------
+    positions / pattern:
+        The node's own elimination positions and sub-diagonal row
+        pattern (ascending).
+    dims:
+        Per-position block dimensions of the whole problem.
+    flat_offsets:
+        Cumulative scalar offsets of the global block state
+        (``BlockVector.offsets`` or the batch solver's scalar offsets).
+    factors:
+        ``(factor_id, factor_positions, residual_dim)`` per factor
+        assembled at this node, in assembly order.
+    child_patterns:
+        The row pattern of each child whose update matrix is
+        extend-added, in extend-add order.
+    """
+    offsets, m, front_size = front_offsets(positions, pattern, dims)
+
+    factor_ids = []
+    factor_flat: List[np.ndarray] = []
+    factor_trace = []
+    for fid, f_positions, residual_dim in factors:
+        factor_ids.append(fid)
+        factor_flat.append(
+            _frontal_flat(f_positions, dims, offsets, front_size))
+        df = int(sum(dims[p] for p in f_positions))
+        factor_trace.append((int(residual_dim), df))
+
+    child_flat: List[np.ndarray] = []
+    child_sizes = []
+    for c_pattern in child_patterns:
+        flat = _frontal_flat(c_pattern, dims, offsets, front_size)
+        child_flat.append(flat)
+        child_sizes.append(int(sum(dims[p] for p in c_pattern)))
+
+    empty = np.empty(0, dtype=np.intp)
+    own_dims = [dims[p] for p in positions]
+    return NodePlan(
+        signature=signature,
+        m=m,
+        front_size=front_size,
+        factor_ids=tuple(factor_ids),
+        factor_flat_idx=(np.concatenate(factor_flat)
+                         if factor_flat else empty),
+        factor_trace=tuple(factor_trace),
+        child_flat_idx=(np.concatenate(child_flat)
+                        if child_flat else empty),
+        child_sizes=tuple(child_sizes),
+        diag_idx=np.arange(m, dtype=np.intp) * (front_size + 1),
+        pos_idx=_state_indices(positions, flat_offsets),
+        pattern_idx=_state_indices(pattern, flat_offsets),
+        pattern_arr=np.asarray(pattern, dtype=np.intp),
+        positions_arr=np.asarray(positions, dtype=np.intp),
+        pos_starts=np.concatenate(
+            [[0], np.cumsum(own_dims[:-1])]).astype(np.intp),
+    )
+
+
+def plans_equal(a: NodePlan, b: NodePlan) -> bool:
+    """Structural equality of two compiled plans (audit helper)."""
+    return (a.signature == b.signature
+            and a.m == b.m
+            and a.front_size == b.front_size
+            and a.factor_ids == b.factor_ids
+            and a.factor_trace == b.factor_trace
+            and a.child_sizes == b.child_sizes
+            and np.array_equal(a.factor_flat_idx, b.factor_flat_idx)
+            and np.array_equal(a.child_flat_idx, b.child_flat_idx)
+            and np.array_equal(a.diag_idx, b.diag_idx)
+            and np.array_equal(a.pos_idx, b.pos_idx)
+            and np.array_equal(a.pattern_idx, b.pattern_idx)
+            and np.array_equal(a.pattern_arr, b.pattern_arr)
+            and np.array_equal(a.positions_arr, b.positions_arr)
+            and np.array_equal(a.pos_starts, b.pos_starts))
+
+
+class PlanCache:
+    """Signature-validated cache of compiled :class:`NodePlan`s.
+
+    Keys are caller-chosen stable node identities (the engine uses the
+    head elimination position, which survives supernode teardown and
+    rebuild; the batch solver uses the supernode id).  A lookup only
+    hits when the cached plan's full signature matches, so entries made
+    stale by ``_rebuild_supernodes`` are recompiled rather than ever
+    being executed — no explicit invalidation pass is needed, and the
+    cache stays bounded by the number of node identities.
+    """
+
+    __slots__ = ("_plans", "hits", "misses", "compiles")
+
+    def __init__(self):
+        self._plans: Dict[object, NodePlan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def lookup(self, key, signature: Signature) -> Optional[NodePlan]:
+        plan = self._plans.get(key)
+        if plan is not None and plan.signature == signature:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        return None
+
+    def store(self, key, plan: NodePlan) -> None:
+        self.compiles += 1
+        self._plans[key] = plan
+
+    def peek(self, key) -> Optional[NodePlan]:
+        """The cached plan for ``key`` regardless of signature (tests)."""
+        return self._plans.get(key)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def counters(self) -> Tuple[int, int, int]:
+        return self.hits, self.misses, self.compiles
+
+
+class StepExecutor:
+    """Stateless numeric executor over compiled :class:`NodePlan`s.
+
+    Shared by the incremental engine (refactorize, wildfire
+    back-substitution, marginal solves) and the batch multifrontal
+    solver — one implementation of the frontal assembly, partial
+    factorization and triangular-solve arithmetic, bit-identical to the
+    per-factor loops it replaced (see the module docstring).
+    """
+
+    __slots__ = ()
+
+    def factorize_node(
+        self,
+        plan: NodePlan,
+        hessians: Sequence[np.ndarray],
+        child_updates: Sequence[np.ndarray],
+        damping: float,
+        node_trace: Optional[NodeTrace],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Assemble and partially factorize one frontal matrix.
+
+        ``hessians`` / ``child_updates`` are the factor Hessian blocks
+        and child update matrices in the plan's assembly order.  Returns
+        ``(L_A, L_B, C_update)``.
+        """
+        front = np.zeros((plan.front_size, plan.front_size))
+        flat = front.ravel()
+        if node_trace is not None:
+            node_trace.record(OpKind.MEMSET,
+                              4 * plan.front_size * plan.front_size)
+        if hessians:
+            np.add.at(flat, plan.factor_flat_idx,
+                      np.concatenate([h.ravel() for h in hessians]))
+            if node_trace is not None:
+                for residual_dim, df in plan.factor_trace:
+                    node_trace.record(OpKind.MEMCPY,
+                                      4 * residual_dim * (df + 1))
+                    node_trace.record(OpKind.GEMM, df, df, residual_dim)
+                    node_trace.record(OpKind.SCATTER_ADD, df, df)
+        if child_updates:
+            np.add.at(flat, plan.child_flat_idx,
+                      np.concatenate([c.ravel() for c in child_updates]))
+            if node_trace is not None:
+                for nc in plan.child_sizes:
+                    node_trace.record(OpKind.SCATTER_ADD, nc, nc)
+        if damping:
+            flat[plan.diag_idx] += damping
+        return factorize_front(front, plan.m, node_trace)
+
+    def forward_update(
+        self,
+        plan: NodePlan,
+        l_a: np.ndarray,
+        l_b: np.ndarray,
+        rhs: np.ndarray,
+        node_trace: Optional[NodeTrace],
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Forward solve ``L_A y = rhs`` and spread ``v = L_B y``.
+
+        Returns ``(y, v)`` with ``v`` None for root nodes (empty
+        pattern).
+        """
+        y = solve_lower_triangular(l_a, rhs)
+        if node_trace is not None:
+            node_trace.record(OpKind.TRSV, plan.m)
+        if plan.pattern_arr.size:
+            v = l_b @ y
+            if node_trace is not None:
+                node_trace.record(OpKind.GEMV, v.size, plan.m)
+            return y, v
+        return y, None
+
+    def backsolve_node(
+        self,
+        l_a: np.ndarray,
+        l_b: np.ndarray,
+        y: np.ndarray,
+        above: Optional[np.ndarray],
+        node_trace: Optional[NodeTrace],
+    ) -> np.ndarray:
+        """Back-substitute one node: ``L_A^T x = y - L_B^T x_above``."""
+        rhs = y.copy()
+        if above is not None:
+            rhs -= l_b.T @ above
+            if node_trace is not None:
+                node_trace.record(OpKind.GEMV, rhs.size, above.size)
+        x = solve_lower_triangular(l_a, rhs, trans=1)
+        if node_trace is not None:
+            node_trace.record(OpKind.TRSV, rhs.size)
+        return x
+
+
+def tree_solve(
+    entries: Sequence[Tuple[int, np.ndarray, np.ndarray,
+                            np.ndarray, Optional[np.ndarray]]],
+    rhs_flat: np.ndarray,
+    total: int,
+    trace: Optional[OpTrace] = None,
+) -> np.ndarray:
+    """Two triangular sweeps (``L y = b``, ``L^T x = y``) over a tree.
+
+    ``entries`` lists ``(sid, l_a, l_b, own_idx, row_idx)`` bottom-up
+    (children before parents); ``row_idx`` is None for root nodes.  The
+    one shared implementation behind ``IncrementalEngine.solve_with_rhs``
+    and ``MultifrontalCholesky.solve``/``solve_vector``.
+    """
+    carry = np.zeros(total)
+    ys: List[np.ndarray] = []
+    for sid, l_a, l_b, own_idx, row_idx in entries:
+        local = rhs_flat[own_idx] - carry[own_idx]
+        y = solve_lower_triangular(l_a, local)
+        ys.append(y)
+        node_trace = trace.node(sid) if trace is not None else None
+        if node_trace is not None:
+            node_trace.record(OpKind.TRSV, y.size)
+        if row_idx is not None:
+            spread = l_b @ y
+            carry[row_idx] += spread
+            if node_trace is not None:
+                node_trace.record(OpKind.GEMV, spread.size, y.size)
+
+    x_flat = np.zeros(total)
+    for (sid, l_a, l_b, own_idx, row_idx), y in zip(reversed(entries),
+                                                    reversed(ys)):
+        local = y
+        if row_idx is not None:
+            above = x_flat[row_idx]
+            local = local - l_b.T @ above
+            if trace is not None:
+                trace.node(sid).record(OpKind.GEMV, y.size, above.size)
+        x = solve_lower_triangular(l_a, local, trans=1)
+        if trace is not None:
+            trace.node(sid).record(OpKind.TRSV, y.size)
+        x_flat[own_idx] = x
+    return x_flat

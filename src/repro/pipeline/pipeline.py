@@ -189,6 +189,18 @@ class BackendPipeline:
         aud.check(step_ids == sorted(set(step_ids)), "pipeline-reports",
                   "report step ids must be strictly increasing",
                   steps=step_ids[:16])
+        for report in run.reports:
+            hits = report.extras.get("plan_hits", 0.0)
+            misses = report.extras.get("plan_misses", 0.0)
+            compiles = report.extras.get("plan_compiles", 0.0)
+            aud.check(hits >= 0.0 and misses >= 0.0 and compiles >= 0.0,
+                      "plan-counters",
+                      "plan-cache counters must be non-negative",
+                      step=report.step, hits=hits, misses=misses,
+                      compiles=compiles)
+            aud.check(compiles == misses, "plan-counters",
+                      "every plan-cache miss compiles exactly one plan",
+                      step=report.step, misses=misses, compiles=compiles)
         if any(isinstance(s, PricingStage) for s in self.stages):
             aud.check(len(run.latencies) == num_steps,
                       "pipeline-latencies",

@@ -177,6 +177,11 @@ class FixedLagSmoother:
             sorted(position_of[k] for k in f.keys)
             for f in self.graph.factors()]
         symbolic = SymbolicFactorization(dims, factor_positions)
+        # One solver per step: the structure is fixed across Gauss-Newton
+        # iterations, so iteration 2+ reuses every step-plan compiled by
+        # iteration 1 through the shared executor (factorize fully
+        # overwrites L and the gradient, so reuse is exact).
+        solver = MultifrontalCholesky(symbolic, damping=self.damping)
         for iteration in range(self.iterations):
             start = time.perf_counter()
             contributions, n_batched, n_fallback = linearize_many(
@@ -184,13 +189,18 @@ class FixedLagSmoother:
             ctx.lin_seconds += time.perf_counter() - start
             ctx.lin_batched += n_batched
             ctx.lin_fallback += n_fallback
-            solver = MultifrontalCholesky(symbolic, damping=self.damping)
             last = iteration == self.iterations - 1
             trace = ctx.trace if last else None
+            start = time.perf_counter()
             solver.factorize(contributions, trace=trace)
+            ctx.refactor_seconds += time.perf_counter() - start
             delta = BlockVector.from_blocks(solver.solve(trace=trace))
             self.values.retract_in_place(
                 {keys[p]: delta[p] for p in range(len(keys))})
+        hits, misses, compiles = solver.plan_counters
+        ctx.plan_hits += hits
+        ctx.plan_misses += misses
+        ctx.plan_compiles += compiles
 
     def _marginalize_oldest(self) -> None:
         key = self._active.pop(0)

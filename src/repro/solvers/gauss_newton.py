@@ -87,10 +87,12 @@ class GaussNewton:
         history = [initial_error]
         converged = False
         iterations = 0
+        # One solver for all iterations: the structure never changes, so
+        # every iteration past the first reuses the compiled step-plans.
+        solver = MultifrontalCholesky(symbolic, damping=self.damping)
         for iterations in range(1, self.max_iterations + 1):
             contributions = linearize_graph(
                 graph.factors(), values, position_of)
-            solver = MultifrontalCholesky(symbolic, damping=self.damping)
             solver.factorize(contributions)
             delta = BlockVector.from_blocks(solver.solve())
             step = {order[p]: delta[p] for p in range(len(order))}

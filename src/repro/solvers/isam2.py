@@ -22,6 +22,15 @@ index), so the per-step bookkeeping — relevance scores, rhs assembly,
 carry spreading, the wildfire dirty check — runs as vectorized array
 operations over cached per-node index arrays instead of per-variable
 Python loops.
+
+Plan/execute split: the symbolic output of phases D-F is compiled into
+per-supernode :class:`~repro.linalg.plan.NodePlan` objects cached across
+steps (keyed by the node's stable head position, validated by a full
+structural signature), and phases G/H plus the marginal solves execute
+those plans through the shared
+:class:`~repro.linalg.plan.StepExecutor` — a structure-unchanged
+rebuild reuses every plan wholesale instead of re-deriving
+``front_offsets``/``gather_indices`` per factor.
 """
 
 from __future__ import annotations
@@ -31,7 +40,6 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
-import scipy.linalg
 
 from repro.factorgraph.factors import Factor
 from repro.factorgraph.graph import FactorGraph
@@ -39,30 +47,35 @@ from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
 from repro.instrumentation.context import StepContext
 from repro.linalg.cholesky import FactorContribution
-from repro.linalg.frontal import (
-    factorize_front,
-    front_offsets,
-    gather_indices,
-    scatter_add_block,
+from repro.linalg.plan import (
+    NodePlan,
+    PlanCache,
+    StepExecutor,
+    compile_node_plan,
+    node_signature,
+    plans_equal,
+    tree_solve,
 )
-from repro.linalg.trace import OpKind, OpTrace
+from repro.linalg.trace import OpTrace
 from repro.solvers.base import StepReport
 from repro.solvers.batch_linearize import linearize_many
 from repro.state import BlockVector
+from repro.validate import current_auditor
 
 
 class _Node:
     """A live supernode with its cached numeric state.
 
-    ``pos_idx`` / ``pattern_idx`` are flat scalar indices into the
-    engine's block state covering the node's own positions and its
-    sub-diagonal row pattern; they are computed once when the node is
-    built (block offsets are append-only, hence stable) and make every
+    ``plan`` is the node's compiled elimination step (see
+    :mod:`repro.linalg.plan`), attached when the node is refactorized.
+    ``pos_idx`` / ``pattern_idx`` / the wildfire arrays are views of the
+    plan's flat scalar indices into the engine's block state (block
+    offsets are append-only, hence stable); they make every
     gather/scatter over the node a single fancy-index operation.
     """
 
     __slots__ = ("sid", "positions", "pattern", "l_a", "l_b", "c_update",
-                 "y", "v", "pos_idx", "pattern_idx", "pattern_arr",
+                 "y", "v", "plan", "pos_idx", "pattern_idx", "pattern_arr",
                  "positions_arr", "pos_starts")
 
     def __init__(self, sid: int, positions: List[int], pattern: List[int]):
@@ -74,6 +87,7 @@ class _Node:
         self.c_update: Optional[np.ndarray] = None
         self.y: Optional[np.ndarray] = None
         self.v: Optional[np.ndarray] = None
+        self.plan: Optional[NodePlan] = None
         self.pos_idx: Optional[np.ndarray] = None
         self.pattern_idx: Optional[np.ndarray] = None
         self.pattern_arr: Optional[np.ndarray] = None
@@ -121,6 +135,14 @@ class IncrementalEngine:
         self.nodes: Dict[int, _Node] = {}
         self.node_of: List[int] = []
         self._next_sid = 0
+
+        self._plans = PlanCache()
+        self._executor = StepExecutor()
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The engine's step-plan cache (counters used by tests/benchmarks)."""
+        return self._plans
 
     # ------------------------------------------------------------------
     # public API
@@ -365,22 +387,10 @@ class IncrementalEngine:
                 self.nodes[current.sid] = current
                 fresh.append(current.sid)
             self.node_of[j] = current.sid
-        for sid in fresh:
-            self._cache_node_indices(self.nodes[sid])
         return fresh
 
-    def _cache_node_indices(self, node: _Node) -> None:
-        """Freeze the node's flat-index views of the block state."""
-        node.pos_idx = self.delta.indices(node.positions)
-        node.pattern_idx = self.delta.indices(node.pattern)
-        node.pattern_arr = np.asarray(node.pattern, dtype=np.intp)
-        node.positions_arr = np.asarray(node.positions, dtype=np.intp)
-        own_dims = [self.dims[p] for p in node.positions]
-        node.pos_starts = np.concatenate(
-            [[0], np.cumsum(own_dims[:-1])]).astype(np.intp)
-
     # ------------------------------------------------------------------
-    # phase G: numeric refactorization (bottom-up)
+    # phase G: numeric refactorization (bottom-up, plan/execute)
     # ------------------------------------------------------------------
 
     def _children_nodes(self, node: _Node) -> List[_Node]:
@@ -394,59 +404,78 @@ class IncrementalEngine:
                     out.append(self.nodes[sid])
         return out
 
+    def _plan_for(self, node: _Node, children: List[_Node],
+                  aud) -> NodePlan:
+        """Resolve the node's compiled step: cache hit or recompile.
+
+        The cache key is the node's head position (stable across
+        teardown/rebuild); the signature covers everything the plan's
+        indices depend on, so any structural change — factor set,
+        pattern, child partition — misses and recompiles.
+        """
+        factor_ids = tuple(index for p in node.positions
+                           for index in self._factors_at.get(p, ()))
+        signature = node_signature(
+            node.positions, node.pattern, factor_ids,
+            [(tuple(c.positions), tuple(c.pattern)) for c in children])
+        key = node.positions[0]
+        plan = self._plans.lookup(key, signature)
+        if plan is None:
+            plan = self._compile_plan(node, factor_ids, children, signature)
+            self._plans.store(key, plan)
+        elif aud is not None:
+            fresh_plan = self._compile_plan(node, factor_ids, children,
+                                            signature)
+            aud.check(plans_equal(plan, fresh_plan), "plan-consistency",
+                      "cached step-plan must equal a fresh recompile",
+                      sid=node.sid, head=key)
+        return plan
+
+    def _compile_plan(self, node: _Node, factor_ids: tuple,
+                      children: List[_Node], signature) -> NodePlan:
+        lin = self._lin
+        return compile_node_plan(
+            node.positions, node.pattern, self.dims, self.delta.offsets,
+            [(index, lin[index].positions, lin[index].residual_dim)
+             for index in factor_ids],
+            [c.pattern for c in children], signature)
+
     def _refactorize(self, fresh: List[int], ctx: StepContext) -> None:
-        dims = self.dims
+        start = time.perf_counter()
+        cache = self._plans
+        hits0, misses0, compiles0 = cache.counters()
+        aud = current_auditor()
+        executor = self._executor
+        lin = self._lin
         fresh_nodes = sorted((self.nodes[sid] for sid in fresh),
                              key=lambda n: n.positions[0])
         for node in fresh_nodes:
-            offsets, m, front_size = front_offsets(
-                node.positions, node.pattern, dims)
-            front = np.zeros((front_size, front_size))
-            node_trace = ctx.node(node.sid, cols=m,
-                                  rows_below=front_size - m)
-            if node_trace is not None:
-                node_trace.record(OpKind.MEMSET, 4 * front_size * front_size)
+            children = self._children_nodes(node)
+            plan = self._plan_for(node, children, aud)
+            node.plan = plan
+            node.pos_idx = plan.pos_idx
+            node.pattern_idx = plan.pattern_idx
+            node.pattern_arr = plan.pattern_arr
+            node.positions_arr = plan.positions_arr
+            node.pos_starts = plan.pos_starts
 
-            for p in node.positions:
-                for index in self._factors_at.get(p, ()):
-                    contrib = self._lin[index]
-                    idx = gather_indices(contrib.positions, dims, offsets)
-                    scatter_add_block(front, idx, contrib.hessian)
-                    if node_trace is not None:
-                        df = contrib.hessian.shape[0]
-                        node_trace.record(
-                            OpKind.MEMCPY,
-                            4 * contrib.residual_dim * (df + 1))
-                        node_trace.record(OpKind.GEMM, df, df,
-                                          contrib.residual_dim)
-                        node_trace.record(OpKind.SCATTER_ADD, df, df)
+            node_trace = ctx.node(node.sid, cols=plan.m,
+                                  rows_below=plan.front_size - plan.m)
+            node.l_a, node.l_b, node.c_update = executor.factorize_node(
+                plan, [lin[index].hessian for index in plan.factor_ids],
+                [child.c_update for child in children],
+                self.damping, node_trace)
 
-            for child in self._children_nodes(node):
-                idx = gather_indices(child.pattern, dims, offsets)
-                scatter_add_block(front, idx, child.c_update)
-                if node_trace is not None:
-                    nc = child.c_update.shape[0]
-                    node_trace.record(OpKind.SCATTER_ADD, nc, nc)
-
-            if self.damping:
-                front[np.arange(m), np.arange(m)] += self.damping
-
-            l_a, l_b, c_update = factorize_front(front, m, node_trace)
-            node.l_a, node.l_b, node.c_update = l_a, l_b, c_update
-
-            rhs = (self._gradient.gather(node.pos_idx)
-                   - self._carry.gather(node.pos_idx))
-            node.y = scipy.linalg.solve_triangular(
-                l_a, rhs, lower=True, check_finite=False)
-            if node_trace is not None:
-                node_trace.record(OpKind.TRSV, m)
-            if node.pattern:
-                node.v = l_b @ node.y
-                self._carry.scatter_add(node.pattern_idx, node.v, 1.0)
-                if node_trace is not None:
-                    node_trace.record(OpKind.GEMV, node.v.size, m)
-            else:
-                node.v = None
+            rhs = (self._gradient.gather(plan.pos_idx)
+                   - self._carry.gather(plan.pos_idx))
+            node.y, node.v = executor.forward_update(
+                plan, node.l_a, node.l_b, rhs, node_trace)
+            if node.v is not None:
+                self._carry.scatter_add(plan.pattern_idx, node.v, 1.0)
+        ctx.plan_hits += cache.hits - hits0
+        ctx.plan_misses += cache.misses - misses0
+        ctx.plan_compiles += cache.compiles - compiles0
+        ctx.refactor_seconds += time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # phase H: wildfire back-substitution (top-down)
@@ -470,18 +499,10 @@ class IncrementalEngine:
             if not dirty:
                 continue
             ctx.backsub += 1
-            rhs = node.y.copy()
-            if node.pattern:
-                above = delta_data[node.pattern_idx]
-                rhs -= node.l_b.T @ above
-                node_trace = ctx.node(sid)
-                if node_trace is not None:
-                    node_trace.record(OpKind.GEMV, rhs.size, above.size)
-            x = scipy.linalg.solve_triangular(
-                node.l_a, rhs, lower=True, trans="T", check_finite=False)
             node_trace = ctx.node(sid)
-            if node_trace is not None:
-                node_trace.record(OpKind.TRSV, rhs.size)
+            above = delta_data[node.pattern_idx] if node.pattern else None
+            x = self._executor.backsolve_node(
+                node.l_a, node.l_b, node.y, above, node_trace)
             if x.size:
                 diffs = np.abs(x - delta_data[node.pos_idx])
                 changed[node.positions_arr] = np.maximum.reduceat(
@@ -502,25 +523,11 @@ class IncrementalEngine:
         total = self.delta.total_dim
         flat = (np.concatenate([np.asarray(r, dtype=float) for r in rhs])
                 if len(rhs) else np.zeros(0))
-        carry = np.zeros(total)
-        y_store: Dict[int, np.ndarray] = {}
         ordered = sorted(self.nodes.values(), key=lambda n: n.positions[0])
-        for node in ordered:
-            local = flat[node.pos_idx] - carry[node.pos_idx]
-            y = scipy.linalg.solve_triangular(
-                node.l_a, local, lower=True, check_finite=False)
-            y_store[node.sid] = y
-            if node.pattern:
-                carry[node.pattern_idx] += node.l_b @ y
-        x = np.zeros(total)
-        for node in reversed(ordered):
-            local = y_store[node.sid]
-            if node.pattern:
-                local = local - node.l_b.T @ x[node.pattern_idx]
-            sol = scipy.linalg.solve_triangular(
-                node.l_a, local, lower=True, trans="T",
-                check_finite=False)
-            x[node.pos_idx] = sol
+        entries = [(node.sid, node.l_a, node.l_b, node.pos_idx,
+                    node.pattern_idx if node.pattern else None)
+                   for node in ordered]
+        x = tree_solve(entries, flat, total)
         return [x[offsets[p]:offsets[p + 1]]
                 for p in range(self.num_positions)]
 
@@ -567,6 +574,8 @@ class IncrementalEngine:
         seen: Set[int] = set()
         for node in self.nodes.values():
             assert node.positions == sorted(node.positions)
+            assert node.plan is not None
+            assert node.pos_idx is node.plan.pos_idx
             np.testing.assert_array_equal(
                 node.pos_idx, self.delta.indices(node.positions))
             np.testing.assert_array_equal(

@@ -16,6 +16,7 @@ from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
 from repro.linalg.cholesky import MultifrontalCholesky
 from repro.linalg.frontal import SingularHessianError
+from repro.linalg.plan import PlanCache
 from repro.linalg.ordering import chronological_order, minimum_degree_order
 from repro.linalg.symbolic import SymbolicFactorization
 from repro.solvers.linearize import linearize_graph
@@ -73,6 +74,10 @@ class LevenbergMarquardt:
             dims, [sorted(position_of[k] for k in f.keys)
                    for f in graph.factors()])
 
+        # Damping varies per attempt but the structure never does, so
+        # every per-lambda solver shares one step-plan cache (damping is
+        # a numeric input to the executor, not part of any plan).
+        plan_cache = PlanCache()
         lam = self.initial_lambda
         error = graph.error(values)
         initial_error = error
@@ -85,7 +90,8 @@ class LevenbergMarquardt:
                 graph.factors(), values, position_of)
             stepped = False
             while lam <= self.max_lambda:
-                solver = MultifrontalCholesky(symbolic, damping=lam)
+                solver = MultifrontalCholesky(symbolic, damping=lam,
+                                              plan_cache=plan_cache)
                 try:
                     solver.factorize(contributions)
                 except SingularHessianError:

@@ -11,8 +11,11 @@ Usage::
 Audited layers: the event-driven scheduler (lane-work conservation, LLC
 capacity/restore, set acquire/release, pending-children bookkeeping),
 the accelerator pool (interval well-formedness), ``StepBudget``
-(no admission after exhaustion), ``NodeCostModel`` (memo integrity) and
-``BackendPipeline`` (per-step report/latency consistency).  Auditing is
+(no admission after exhaustion), ``NodeCostModel`` (memo integrity),
+``BackendPipeline`` (per-step report/latency consistency, plan-cache
+counter conservation) and the step-plan caches (``plan-consistency``:
+every cache-hit plan is re-verified against a fresh recompile, see
+:mod:`repro.linalg.plan`).  Auditing is
 off by default and costs one ``is None`` check per audited call.
 
 The randomized stress harness under ``tests/stress/`` drives these

@@ -95,3 +95,32 @@ class TestMarginalCovariance:
             cov = engine.marginal_covariance(key)
             eigenvalues = np.linalg.eigvalsh(cov)
             assert np.all(eigenvalues > 0)
+
+
+class TestMarginalAfterStructureChange:
+    """Regression: marginal queries route through the plan-based solve
+    path and must be correct immediately after the cache recompiles."""
+
+    def _check_all_marginals(self, engine):
+        h_full, offsets = dense_h(engine)
+        h_inv = np.linalg.inv(h_full)
+        for key in sorted(engine.pos_of):
+            pos = engine.pos_of[key]
+            sl = slice(offsets[pos], offsets[pos + 1])
+            np.testing.assert_allclose(engine.marginal_covariance(key),
+                                       h_inv[sl, sl], atol=1e-8,
+                                       err_msg=f"key {key}")
+
+    def test_correct_after_loop_closure_update(self):
+        engine = build_engine(n=10)
+        engine.update(
+            {}, [BetweenFactorSE2(0, 9, SE2(9.0, 0.0, 0.0), NOISE)])
+        self._check_all_marginals(engine)
+
+    def test_correct_after_cache_hit_relin(self):
+        from repro.instrumentation import StepContext
+        engine = build_engine(n=10, closure=6)
+        ctx = StepContext()
+        engine.update({}, [], relin_keys=[3, 4], context=ctx)
+        assert ctx.plan_hits > 0 and ctx.plan_misses == 0
+        self._check_all_marginals(engine)
