@@ -3,7 +3,8 @@
 Chronological ordering enables the incremental engine (parents never
 change under factor additions) at the cost of extra fill compared with
 minimum degree; this bench quantifies the trade on the final M3500
-graph.
+graph across every registered ordering policy, including the
+elimination-tree shape stats that govern inter-node parallelism.
 """
 
 from repro.experiments.ablations import ordering_ablation
@@ -15,16 +16,27 @@ def test_ablation_elimination_ordering(once, save_result):
     rows = [[label,
              f"{entry['fill_nnz']:.0f}",
              f"{entry['tree_height']:.0f}",
+             f"{entry['max_width']:.0f}",
+             f"{entry['branch_nodes']:.0f}",
              f"{entry['supernodes']:.0f}"]
             for label, entry in results.items()]
     save_result("ablation_ordering",
                 "Ablation — elimination ordering (M3500 final graph)\n"
                 + format_table(["Ordering", "fill nnz", "tree height",
-                                "supernodes"], rows))
+                                "max width", "branches", "supernodes"],
+                               rows))
 
     chrono = results["chronological"]
     mindeg = results["minimum_degree"]
+    ccolamd = results["constrained_colamd"]
     # Minimum degree reduces batch fill; chronological pays fill for
     # incremental-update locality.
     assert mindeg["fill_nnz"] < chrono["fill_nnz"]
     assert chrono["fill_nnz"] < 20 * mindeg["fill_nnz"]
+    # Constrained COLAMD trades a suffix constraint for near-AMD fill and
+    # a measurably bushier tree than the chronological chain: lower
+    # height and real branching off the root path.
+    assert ccolamd["fill_nnz"] < chrono["fill_nnz"]
+    assert ccolamd["tree_height"] < chrono["tree_height"]
+    assert ccolamd["branch_nodes"] >= 1
+    assert ccolamd["max_width"] > chrono["max_width"]

@@ -1,0 +1,72 @@
+"""Ordering microbenchmark: quotient-graph AMD vs dense minimum degree.
+
+The pre-AMD implementation updated a dense adjacency clique per pivot,
+which is O(clique^2) per elimination and blows up on fill-heavy loopy
+graphs.  The quotient-graph core tracks elements instead of explicit
+fill edges, so ordering cost stays near-linear in the number of cliques.
+This bench runs both on the same loopy pose graph and reports fill
+quality plus ordering wall-time.
+"""
+
+import random
+import time
+
+from repro.experiments.common import format_table
+from repro.linalg.ordering import amd_order, dense_minimum_degree_order
+from repro.linalg.symbolic import SymbolicFactorization
+
+
+def _loopy_graph(num_poses: int = 1000, closures: int = 700,
+                 seed: int = 7):
+    """Odometry chain plus random long-range loop closures."""
+    rng = random.Random(seed)
+    keys = list(range(num_poses))
+    factor_keys = [(0,)]
+    factor_keys += [(i, i + 1) for i in range(num_poses - 1)]
+    for _ in range(closures):
+        a = rng.randrange(num_poses)
+        b = rng.randrange(num_poses)
+        if a != b:
+            factor_keys.append((min(a, b), max(a, b)))
+    return keys, factor_keys
+
+
+def _fill_of(order, factor_keys) -> float:
+    symbolic = SymbolicFactorization.from_ordering(
+        order, {k: 3 for k in order}, factor_keys)
+    return symbolic.tree_stats()["fill_nnz"]
+
+
+def test_ordering_quality(once, save_result):
+    keys, factor_keys = _loopy_graph()
+
+    def measure():
+        out = {}
+        for label, func in (("quotient_amd", amd_order),
+                            ("dense_min_degree",
+                             dense_minimum_degree_order)):
+            start = time.perf_counter()
+            order = func(keys, factor_keys)
+            elapsed = time.perf_counter() - start
+            out[label] = {"seconds": elapsed,
+                          "fill_nnz": _fill_of(order, factor_keys)}
+        return out
+
+    results = once(measure)
+    rows = [[label,
+             f"{entry['fill_nnz']:.0f}",
+             f"{1e3 * entry['seconds']:.1f}"]
+            for label, entry in results.items()]
+    save_result("ordering_quality",
+                "Ordering microbenchmark — 1000 poses, ~700 closures\n"
+                + format_table(["Algorithm", "fill nnz", "order ms"],
+                               rows))
+
+    amd = results["quotient_amd"]
+    dense = results["dense_min_degree"]
+    # Same greedy heuristic family: fill quality must stay comparable
+    # (approximate degrees can differ slightly either way).
+    assert amd["fill_nnz"] < 1.25 * dense["fill_nnz"]
+    # The point of the rewrite: on a fill-heavy graph the quotient-graph
+    # core must be clearly faster than the dense clique update.
+    assert amd["seconds"] < 0.8 * dense["seconds"]

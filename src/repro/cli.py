@@ -18,8 +18,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 from repro.core import RAISAM2
 from repro.datasets import (
     cab1_dataset,
@@ -42,9 +40,11 @@ from repro.hardware import (
     spatula_soc,
     supernova_soc,
 )
+from repro.linalg.ordering import ordering_names
 from repro.metrics import latency_stats
 from repro.runtime import NodeCostModel
-from repro.solvers import GaussNewton, ISAM2, LevenbergMarquardt
+from repro.solvers import GaussNewton, ISAM2, IncrementalEngine, \
+    LevenbergMarquardt
 
 DATASETS = {
     "M3500": manhattan_dataset,
@@ -112,15 +112,22 @@ def cmd_solve(args) -> int:
         graph.add(factor)
 
     if args.solver == "gn":
-        result = GaussNewton(max_iterations=args.iterations) \
+        result = GaussNewton(max_iterations=args.iterations,
+                             ordering=args.ordering) \
             .optimize(graph, values)
         solved, error = result.values, result.final_error
     elif args.solver == "lm":
-        result = LevenbergMarquardt(max_iterations=args.iterations) \
+        result = LevenbergMarquardt(max_iterations=args.iterations,
+                                    ordering=args.ordering) \
             .optimize(graph, values)
         solved, error = result.values, result.final_error
     else:  # isam2: feed variables in key order
-        solver = ISAM2(relin_threshold=0.01)
+        if args.ordering not in IncrementalEngine.ORDERINGS:
+            print(f"solver isam2 supports orderings "
+                  f"{'/'.join(IncrementalEngine.ORDERINGS)}, "
+                  f"not {args.ordering!r}", file=sys.stderr)
+            return 2
+        solver = ISAM2(relin_threshold=0.01, ordering=args.ordering)
         pending = {index: graph.factor(index)
                    for index in graph.factor_indices()}
         added = set()
@@ -146,9 +153,10 @@ def cmd_simulate(args) -> int:
     soc = PLATFORMS[args.platform]()
     target = args.target_ms * 1e-3
     if soc.has_accelerators:
-        solver = RAISAM2(NodeCostModel(soc), target_seconds=target)
+        solver = RAISAM2(NodeCostModel(soc), target_seconds=target,
+                         ordering=args.ordering)
     else:
-        solver = ISAM2(relin_threshold=0.05)
+        solver = ISAM2(relin_threshold=0.05, ordering=args.ordering)
     run = run_online(solver, data, soc=soc, collect_errors=False)
     stats = latency_stats(run.latency_seconds(), target)
     print(f"{data.describe()} on {soc.name}")
@@ -162,6 +170,12 @@ def cmd_simulate(args) -> int:
     rate = 100.0 * hits / total if total else 0.0
     print(f"step plans: {int(hits)} hits, {int(compiles)} compiles "
           f"({rate:.1f}% reused)")
+    last = run.reports[-1] if run.reports else None
+    if last is not None and "tree_height" in last.extras:
+        print(f"elimination tree ({args.ordering}): "
+              f"height {int(last.extras['tree_height'])}, "
+              f"max width {int(last.extras['tree_max_width'])}, "
+              f"fill {int(last.extras['tree_fill_nnz'])} nnz")
     return 0
 
 
@@ -185,6 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--solver", choices=("gn", "lm", "isam2"),
                        default="lm")
     solve.add_argument("--iterations", type=int, default=30)
+    solve.add_argument("--ordering", choices=ordering_names(),
+                       default="chronological",
+                       help="elimination ordering policy (isam2 supports "
+                            "chronological/constrained_colamd)")
     solve.add_argument("--out", dest="output")
     solve.set_defaults(func=cmd_solve)
 
@@ -196,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--platform", choices=sorted(PLATFORMS),
                      default="supernova2")
     sim.add_argument("--target-ms", type=float, default=33.3)
+    sim.add_argument("--ordering",
+                     choices=IncrementalEngine.ORDERINGS,
+                     default="chronological",
+                     help="incremental elimination ordering policy")
     sim.set_defaults(func=cmd_simulate)
     return parser
 

@@ -49,6 +49,10 @@ class RAISAM2:
         Candidate ordering: ``"relevance"`` (the paper's greedy
         most-relevant-first), ``"fifo"`` (oldest variable first) or
         ``"random"`` — the latter two exist for the selection ablation.
+    ordering / reorder_interval:
+        Engine elimination-ordering mode (``"chronological"`` or
+        ``"constrained_colamd"``) and re-ordering cadence; see
+        :class:`~repro.solvers.isam2.IncrementalEngine`.
     """
 
     def __init__(self, cost_model: NodeCostModel,
@@ -61,7 +65,9 @@ class RAISAM2:
                  energy_budget_joules: Optional[float] = None,
                  power_model: Optional[PowerModel] = None,
                  selection_policy: str = "relevance",
-                 selection_seed: int = 0):
+                 selection_seed: int = 0,
+                 ordering: str = "chronological",
+                 reorder_interval: int = 25):
         if selection_policy not in ("relevance", "fifo", "random"):
             raise ValueError(f"unknown policy {selection_policy!r}")
         self.cost_model = cost_model
@@ -74,7 +80,8 @@ class RAISAM2:
         self.power_model = power_model or PowerModel()
         self.engine = IncrementalEngine(
             max_supernode_vars=max_supernode_vars,
-            wildfire_tol=wildfire_tol, damping=damping)
+            wildfire_tol=wildfire_tol, damping=damping,
+            ordering=ordering, reorder_interval=reorder_interval)
         self._step = -1
 
     def _estimate_energy(self, seconds: float) -> float:

@@ -15,19 +15,20 @@ from repro.experiments.common import (
     target_for,
 )
 from repro.hardware import supernova_soc
-from repro.linalg.ordering import minimum_degree_order
+from repro.linalg.ordering import make_ordering_policy, ordering_names
 from repro.linalg.symbolic import SymbolicFactorization
 from repro.runtime import NodeCostModel
 from repro.solvers import ISAM2
 
 
 def ordering_ablation(name: str = "M3500") -> Dict[str, Dict[str, float]]:
-    """Chronological vs minimum-degree elimination ordering.
+    """Elimination-ordering policies on the final batch graph.
 
-    Minimum degree minimizes batch fill; chronological enables the
-    incremental engine (parents stay stable under additions) and puts new
-    work near the root.  Reports the fill (scalar nnz in L) and tree
-    height under each ordering of the final graph.
+    Runs every registered :class:`~repro.linalg.ordering.OrderingPolicy`
+    on the dataset's final graph and reports fill (scalar nnz in L) plus
+    elimination-tree shape: height, widest level and branch count — the
+    shape stats that govern inter-node parallelism.  Constrained COLAMD
+    keeps the newest pose last, mirroring its incremental usage.
     """
     data = dataset(name)
     keys = sorted(data.ground_truth.keys())
@@ -36,19 +37,19 @@ def ordering_ablation(name: str = "M3500") -> Dict[str, Dict[str, float]]:
                    for f in step.factors]
     results: Dict[str, Dict[str, float]] = {}
 
-    orders = {
-        "chronological": keys,
-        "minimum_degree": minimum_degree_order(keys, factor_keys),
-    }
-    for label, order in orders.items():
-        pos = {k: i for i, k in enumerate(order)}
-        positions = [sorted(pos[k] for k in fk) for fk in factor_keys]
-        symbolic = SymbolicFactorization([dims[k] for k in order],
-                                         positions)
+    for label in ordering_names():
+        policy = make_ordering_policy(label)
+        last = keys[-1:] if label == "constrained_colamd" else ()
+        order = policy.order(keys, factor_keys, last_keys=last)
+        symbolic = SymbolicFactorization.from_ordering(
+            order, dims, factor_keys)
+        stats = symbolic.tree_stats()
         results[label] = {
-            "fill_nnz": float(symbolic.fill_nnz()),
-            "tree_height": float(symbolic.tree_height()),
-            "supernodes": float(len(symbolic.supernodes)),
+            "fill_nnz": stats["fill_nnz"],
+            "tree_height": stats["height"],
+            "supernodes": stats["supernodes"],
+            "max_width": stats["max_width"],
+            "branch_nodes": stats["branch_nodes"],
         }
     return results
 

@@ -97,9 +97,15 @@ def reference_trajectory(name: str):
 
 
 @lru_cache(maxsize=None)
-def isam2_run(name: str, collect_errors: bool = True) -> OnlineRun:
-    """The incremental baseline's run, with traces attached to reports."""
-    solver = ISAM2(relin_threshold=RELIN_THRESHOLD)
+def isam2_run(name: str, collect_errors: bool = True,
+              ordering: str = "chronological") -> OnlineRun:
+    """The incremental baseline's run, with traces attached to reports.
+
+    ``ordering`` selects the engine's elimination-ordering policy
+    (``"chronological"`` or ``"constrained_colamd"``); runs are cached
+    per policy so ordering-attribution experiments pay once.
+    """
+    solver = ISAM2(relin_threshold=RELIN_THRESHOLD, ordering=ordering)
     # Traces are collected by passing any SoC; latencies priced later.
     return run_online(solver, dataset(name), soc=supernova_soc(2),
                       collect_errors=collect_errors,

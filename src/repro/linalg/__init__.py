@@ -15,9 +15,17 @@ Implements paper Section 3.2/3.3 from scratch:
 """
 
 from repro.linalg.ordering import (
+    OrderingPolicy,
+    amd_order,
+    amd_order_positions,
     chronological_order,
+    constrained_colamd_order,
     constrained_minimum_degree_order,
+    dense_minimum_degree_order,
+    make_ordering_policy,
     minimum_degree_order,
+    nested_dissection_order,
+    ordering_names,
 )
 from repro.linalg.symbolic import SymbolicFactorization, Supernode
 from repro.linalg.cholesky import MultifrontalCholesky
@@ -34,9 +42,17 @@ from repro.linalg.plan import (
 from repro.linalg.trace import Op, OpKind, OpTrace, NodeTrace
 
 __all__ = [
+    "OrderingPolicy",
+    "amd_order",
+    "amd_order_positions",
     "chronological_order",
+    "constrained_colamd_order",
     "constrained_minimum_degree_order",
+    "dense_minimum_degree_order",
+    "make_ordering_policy",
     "minimum_degree_order",
+    "nested_dissection_order",
+    "ordering_names",
     "marginal_covariance",
     "marginal_covariances",
     "SymbolicFactorization",

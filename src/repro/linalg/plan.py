@@ -197,6 +197,44 @@ def compile_node_plan(
     )
 
 
+#: Signature that can never equal a real one (real factor/child parts
+#: hold tuples of ints/tuples): marks plans whose frontal scatter
+#: indices went stale after a state permutation.
+STALE_SIGNATURE: Signature = (("__reordered__",),) * 4
+
+
+def reindexed_plan(plan: NodePlan, pattern_idx: np.ndarray,
+                   pattern_arr: np.ndarray) -> NodePlan:
+    """Clone a plan after a block-state permutation moved its pattern.
+
+    Survivor supernodes outside a re-ordered region keep their numeric
+    factors, but their sub-diagonal rows may have been relabeled and
+    their state offsets moved, so ``pattern_idx`` / ``pattern_arr`` are
+    replaced.  The frontal assembly indices (``factor_flat_idx``,
+    ``child_flat_idx``) are *not* remapped — they are only reachable
+    through a cache lookup, and the clone carries ``STALE_SIGNATURE``,
+    which never matches, so the next refactorization of the node always
+    recompiles.  ``pos_idx`` is shared by identity (the engine's
+    invariant ties ``node.pos_idx`` to its plan's).
+    """
+    return NodePlan(
+        signature=STALE_SIGNATURE,
+        m=plan.m,
+        front_size=plan.front_size,
+        factor_ids=plan.factor_ids,
+        factor_flat_idx=plan.factor_flat_idx,
+        factor_trace=plan.factor_trace,
+        child_flat_idx=plan.child_flat_idx,
+        child_sizes=plan.child_sizes,
+        diag_idx=plan.diag_idx,
+        pos_idx=plan.pos_idx,
+        pattern_idx=pattern_idx,
+        pattern_arr=pattern_arr,
+        positions_arr=plan.positions_arr,
+        pos_starts=plan.pos_starts,
+    )
+
+
 def plans_equal(a: NodePlan, b: NodePlan) -> bool:
     """Structural equality of two compiled plans (audit helper)."""
     return (a.signature == b.signature

@@ -8,7 +8,7 @@ patterns into supernodes that are factorized with dense kernels.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 class Supernode:
@@ -141,18 +141,62 @@ class SymbolicFactorization:
         Per factor, the positions of its variables.
     max_supernode_vars:
         Amalgamation cap (see :func:`form_supernodes`).
+    keys:
+        Optional variable key per elimination position — the explicit
+        position<->key permutation for non-chronological orderings.
+        When omitted the permutation is assumed identity-like and
+        ``key_at`` / ``position_of`` are unavailable.
     """
 
     def __init__(self, dims: Sequence[int],
                  factor_positions: Sequence[Sequence[int]],
                  max_supernode_vars: int = 8,
-                 relax_fill: int = 1):
+                 relax_fill: int = 1,
+                 keys: Optional[Sequence] = None):
         self.dims = list(dims)
         self.n = len(self.dims)
+        self.keys = list(keys) if keys is not None else None
+        if self.keys is not None and len(self.keys) != self.n:
+            raise ValueError("keys must match dims length")
+        self._position_of = (
+            {key: p for p, key in enumerate(self.keys)}
+            if self.keys is not None else None)
         self.col_struct, self.parent = compute_column_structure(
             self.n, factor_positions)
         self.supernodes, self.node_of = form_supernodes(
             self.col_struct, self.parent, max_supernode_vars, relax_fill)
+
+    @classmethod
+    def from_ordering(cls, order: Sequence, dims_of: Mapping,
+                      factor_keys: Sequence[Sequence],
+                      max_supernode_vars: int = 8,
+                      relax_fill: int = 1) -> "SymbolicFactorization":
+        """Build from an elimination order over keys.
+
+        ``order`` is the key sequence (position p eliminates
+        ``order[p]``), ``dims_of`` maps key -> tangent dimension, and
+        ``factor_keys`` holds each factor's keys.  The resulting object
+        carries the position<->key permutation explicitly.
+        """
+        position_of = {key: p for p, key in enumerate(order)}
+        dims = [dims_of[key] for key in order]
+        factor_positions = [sorted(position_of[k] for k in fk)
+                            for fk in factor_keys]
+        return cls(dims, factor_positions,
+                   max_supernode_vars=max_supernode_vars,
+                   relax_fill=relax_fill, keys=order)
+
+    def key_at(self, position: int):
+        """Key eliminated at ``position`` (requires ``keys``)."""
+        if self.keys is None:
+            raise ValueError("symbolic factorization carries no keys")
+        return self.keys[position]
+
+    def position_of(self, key) -> int:
+        """Elimination position of ``key`` (requires ``keys``)."""
+        if self._position_of is None:
+            raise ValueError("symbolic factorization carries no keys")
+        return self._position_of[key]
 
     def fill_nnz(self) -> int:
         """Scalar nonzeros in L (diagonal blocks counted densely)."""
@@ -182,6 +226,43 @@ class SymbolicFactorization:
                 depth[child] = depth[node.sid] + 1
                 best = max(best, depth[child])
         return best
+
+    def tree_stats(self) -> Dict[str, float]:
+        """Shape summary of the supernodal elimination tree.
+
+        ``height`` — longest root-to-leaf edge count; ``max_width`` —
+        most supernodes at any single depth (the branch-level
+        concurrency an ordering exposes); ``branch_nodes`` — supernodes
+        with more than one child (where root paths fork); ``roots`` —
+        tree count; ``fill_nnz`` — scalar nonzeros of L.  A path-shaped
+        (chronological) tree has ``max_width == 1`` and zero branch
+        nodes; fill-reducing orderings trade height for width.
+        """
+        count = len(self.supernodes)
+        if count == 0:
+            return {"supernodes": 0.0, "height": 0.0, "max_width": 0.0,
+                    "branch_nodes": 0.0, "roots": 0.0, "fill_nnz": 0.0}
+        depth = [0] * count
+        width: Dict[int, int] = {}
+        branch_nodes = 0
+        roots = 0
+        for node in reversed(self.supernodes):
+            if node.parent == -1:
+                roots += 1
+            if len(node.children) > 1:
+                branch_nodes += 1
+            for child in node.children:
+                depth[child] = depth[node.sid] + 1
+        for d in depth:
+            width[d] = width.get(d, 0) + 1
+        return {
+            "supernodes": float(count),
+            "height": float(max(depth)),
+            "max_width": float(max(width.values())),
+            "branch_nodes": float(branch_nodes),
+            "roots": float(roots),
+            "fill_nnz": float(self.fill_nnz()),
+        }
 
     def __repr__(self) -> str:
         return (f"SymbolicFactorization(n={self.n}, "

@@ -21,6 +21,7 @@ from repro.factorgraph.noise import IsotropicNoise
 from repro.factorgraph.values import Values
 from repro.instrumentation import StepContext
 from repro.linalg.cholesky import MultifrontalCholesky
+from repro.linalg.ordering import OrderingSpec, make_ordering_policy
 from repro.linalg.symbolic import SymbolicFactorization
 from repro.linalg.trace import OpTrace
 from repro.solvers.base import StepReport
@@ -129,13 +130,19 @@ class FixedLagSmoother:
         Number of most-recent poses kept in the active window (paper: 20).
     iterations:
         Gauss-Newton iterations per step on the window problem.
+    ordering:
+        An :class:`~repro.linalg.ordering.OrderingPolicy` name or
+        instance for the per-step window solve (default chronological).
     """
 
     def __init__(self, window: int = 20, iterations: int = 2,
-                 damping: float = 1e-6):
+                 damping: float = 1e-6,
+                 ordering: "OrderingSpec" = "chronological"):
         self.window = int(window)
         self.iterations = int(iterations)
         self.damping = float(damping)
+        self.ordering_policy = make_ordering_policy(ordering)
+        self.ordering = self.ordering_policy.name
         self.graph = FactorGraph()
         self.values = Values()          # active window estimates
         self.history: Dict[Key, object] = {}  # frozen marginalized poses
@@ -170,13 +177,13 @@ class FixedLagSmoother:
         return ctx.build_report(self._step)
 
     def _optimize(self, ctx: StepContext) -> None:
-        keys = sorted(self.values.keys())
+        keys = self.ordering_policy.order(
+            list(self.values.keys()),
+            [f.keys for f in self.graph.factors()])
         position_of = {k: i for i, k in enumerate(keys)}
-        dims = [self.values.at(k).dim for k in keys]
-        factor_positions = [
-            sorted(position_of[k] for k in f.keys)
-            for f in self.graph.factors()]
-        symbolic = SymbolicFactorization(dims, factor_positions)
+        symbolic = SymbolicFactorization.from_ordering(
+            keys, {k: self.values.at(k).dim for k in keys},
+            [f.keys for f in self.graph.factors()])
         # One solver per step: the structure is fixed across Gauss-Newton
         # iterations, so iteration 2+ reuses every step-plan compiled by
         # iteration 1 through the shared executor (factorize fully

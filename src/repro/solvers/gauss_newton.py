@@ -14,8 +14,7 @@ from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
 from repro.linalg.cholesky import MultifrontalCholesky
-from repro.linalg.ordering import chronological_order, \
-    minimum_degree_order, nested_dissection_order
+from repro.linalg.ordering import OrderingSpec, make_ordering_policy
 from repro.linalg.symbolic import SymbolicFactorization
 from repro.solvers.linearize import linearize_graph
 from repro.state import BlockVector
@@ -44,30 +43,25 @@ class GaussNewton:
     damping:
         Levenberg-style diagonal added to H; 0 for pure Gauss-Newton.
     ordering:
-        ``"chronological"``, ``"minimum_degree"`` or
-        ``"nested_dissection"`` elimination ordering.
+        An :class:`~repro.linalg.ordering.OrderingPolicy` name
+        (``"chronological"``, ``"minimum_degree"``,
+        ``"constrained_colamd"``, ``"nested_dissection"``) or instance.
     """
 
     def __init__(self, max_iterations: int = 20, tolerance: float = 1e-6,
-                 damping: float = 0.0, ordering: str = "chronological",
+                 damping: float = 0.0,
+                 ordering: OrderingSpec = "chronological",
                  max_supernode_vars: int = 8):
-        if ordering not in ("chronological", "minimum_degree",
-                            "nested_dissection"):
-            raise ValueError(f"unknown ordering {ordering!r}")
         self.max_iterations = int(max_iterations)
         self.tolerance = float(tolerance)
         self.damping = float(damping)
-        self.ordering = ordering
+        self.ordering_policy = make_ordering_policy(ordering)
+        self.ordering = self.ordering_policy.name
         self.max_supernode_vars = int(max_supernode_vars)
 
     def _order(self, graph: FactorGraph, keys) -> List[Key]:
-        if self.ordering == "minimum_degree":
-            return minimum_degree_order(
-                keys, [f.keys for f in graph.factors()])
-        if self.ordering == "nested_dissection":
-            return nested_dissection_order(
-                keys, [f.keys for f in graph.factors()])
-        return chronological_order(keys)
+        return self.ordering_policy.order(
+            keys, [f.keys for f in graph.factors()])
 
     def optimize(self, graph: FactorGraph,
                  initial: Values) -> GaussNewtonResult:
@@ -75,12 +69,9 @@ class GaussNewton:
         values = initial.copy()
         order = self._order(graph, list(values.keys()))
         position_of: Dict[Key, int] = {k: i for i, k in enumerate(order)}
-        dims = [values.at(k).dim for k in order]
-        factor_positions = [
-            sorted(position_of[k] for k in f.keys) for f in graph.factors()
-        ]
-        symbolic = SymbolicFactorization(
-            dims, factor_positions,
+        symbolic = SymbolicFactorization.from_ordering(
+            order, {k: values.at(k).dim for k in order},
+            [f.keys for f in graph.factors()],
             max_supernode_vars=self.max_supernode_vars)
 
         initial_error = graph.error(values)

@@ -16,6 +16,20 @@ Because factors are only ever added (no removal in ISAM2), the block
 structure grows monotonically: elimination-tree parents never change once
 assigned, which keeps incremental symbolic factorization simple and exact.
 
+Ordering policy: the default ``chronological`` mode is exactly the above.
+``constrained_colamd`` additionally performs *periodic incremental
+re-ordering* (paper / ISAM2's recent-variables-last idiom): every
+``reorder_interval`` steps, when a batch-affected region is rebuilt, the
+position suffix from the first affected column upward is re-ordered with
+constrained AMD — affected variables forced last, the rest minimum-degree
+— and the engine's state is remapped through the permutation (BlockVector
+block offsets, cached linearizations, per-node index arrays; plan-cache
+entries are invalidated wholesale).  Columns *below* the first affected
+position keep their fill structure as variable sets (the elimination
+graph of a suffix only depends on the prefix through its column
+structures), so only suffix labels move and structure-unchanged steps
+still reuse every cached plan.
+
 State layout: ``delta``, ``_gradient`` and ``_carry`` live in contiguous
 :class:`~repro.state.BlockVector` storage (one flat buffer + offset
 index), so the per-step bookkeeping — relevance scores, rhs assembly,
@@ -47,6 +61,7 @@ from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
 from repro.instrumentation.context import StepContext
 from repro.linalg.cholesky import FactorContribution
+from repro.linalg.ordering import amd_order_positions
 from repro.linalg.plan import (
     NodePlan,
     PlanCache,
@@ -54,6 +69,7 @@ from repro.linalg.plan import (
     compile_node_plan,
     node_signature,
     plans_equal,
+    reindexed_plan,
     tree_solve,
 )
 from repro.linalg.trace import OpTrace
@@ -107,14 +123,36 @@ class IncrementalEngine:
         delta changed by more than this threshold.
     damping:
         Diagonal damping added to every supernode's diagonal block.
+    ordering:
+        ``"chronological"`` (default; append-only positions, bit-identical
+        to the historical engine) or ``"constrained_colamd"`` (periodic
+        incremental re-ordering of the affected suffix, affected-last).
+    reorder_interval / reorder_min_suffix:
+        Under ``constrained_colamd``: attempt a re-ordering at most every
+        ``reorder_interval`` steps, and only when the affected suffix
+        spans at least ``reorder_min_suffix`` positions.
     """
 
+    #: Engine-supported ordering modes (batch policies don't apply online).
+    ORDERINGS = ("chronological", "constrained_colamd")
+
     def __init__(self, max_supernode_vars: int = 8, relax_fill: int = 1,
-                 wildfire_tol: float = 1e-5, damping: float = 0.0):
+                 wildfire_tol: float = 1e-5, damping: float = 0.0,
+                 ordering: str = "chronological",
+                 reorder_interval: int = 25, reorder_min_suffix: int = 8):
         self.max_supernode_vars = int(max_supernode_vars)
         self.relax_fill = int(relax_fill)
         self.wildfire_tol = float(wildfire_tol)
         self.damping = float(damping)
+        if ordering not in self.ORDERINGS:
+            raise ValueError(
+                f"unknown engine ordering {ordering!r}; expected one of "
+                f"{list(self.ORDERINGS)}")
+        self.ordering = ordering
+        self.reorder_interval = int(reorder_interval)
+        self.reorder_min_suffix = int(reorder_min_suffix)
+        self.reorders = 0
+        self._steps_since_reorder = 0
 
         self.order: List[Key] = []
         self.pos_of: Dict[Key, int] = {}
@@ -126,6 +164,8 @@ class IncrementalEngine:
         self._lin: Dict[int, FactorContribution] = {}
         self._a_struct: List[Set[int]] = []
         self._col_struct: List[List[int]] = []
+        self._col_fill: List[int] = []
+        self._fill_total = 0
         self._parent: List[int] = []
         self._children_pos: Dict[int, List[int]] = {}
         self._factors_at: Dict[int, List[int]] = {}
@@ -210,6 +250,14 @@ class IncrementalEngine:
         relin_factors, relin_touched = self._relinearize(relin_keys, ctx)
         affected |= relin_touched
 
+        self._steps_since_reorder += 1
+        if (self.ordering == "constrained_colamd" and affected
+                and self._steps_since_reorder >= self.reorder_interval
+                and self.num_positions - min(affected)
+                >= self.reorder_min_suffix):
+            affected = self._reorder_suffix(affected)
+            self._steps_since_reorder = 0
+
         sym_affected = self._resolve_structure(affected)
         fresh = self._rebuild_supernodes(sym_affected)
         self._refactorize(fresh, ctx)
@@ -219,6 +267,10 @@ class IncrementalEngine:
         ctx.relin_factors += relin_factors
         ctx.symbolic += len(sym_affected)
         ctx.numeric += len(fresh)
+        shape = self.tree_shape()
+        ctx.extras["tree_height"] = shape["height"]
+        ctx.extras["tree_max_width"] = shape["max_width"]
+        ctx.extras["tree_fill_nnz"] = shape["fill_nnz"]
 
         return {
             "relinearized_variables": len(set(relin_keys)),
@@ -246,6 +298,8 @@ class IncrementalEngine:
             self.delta.append_block(value.dim)
             self._a_struct.append(set())
             self._col_struct.append([])
+            self._col_fill.append(value.dim * (value.dim + 1) // 2)
+            self._fill_total += self._col_fill[-1]
             self._parent.append(-1)
             self._gradient.append_block(value.dim)
             self._carry.append_block(value.dim)
@@ -335,6 +389,11 @@ class IncrementalEngine:
                 struct.update(self._col_struct[child])
             struct.discard(j)
             self._col_struct[j] = sorted(struct)
+            dj = self.dims[j]
+            fill = dj * (dj + 1) // 2 + dj * sum(
+                self.dims[q] for q in struct)
+            self._fill_total += fill - self._col_fill[j]
+            self._col_fill[j] = fill
             if struct:
                 new_parent = self._col_struct[j][0]
                 if self._parent[j] == -1:
@@ -346,6 +405,213 @@ class IncrementalEngine:
                         "elimination parent changed under pure additions")
                 heapq.heappush(heap, self._parent[j])
         return resolved
+
+    # ------------------------------------------------------------------
+    # incremental re-ordering (constrained_colamd only)
+    # ------------------------------------------------------------------
+
+    def _reorder_suffix(self, affected: Set[int]) -> Set[int]:
+        """Re-order positions ``min(affected)..n-1`` with constrained AMD.
+
+        The affected region is about to be rebuilt anyway, so this is the
+        one moment a permutation costs nothing extra numerically.  Only a
+        *suffix* of the position space may be permuted: by the fill-path
+        theorem, a column below the suffix keeps its factor structure as
+        a variable set (every fill path from it runs through lower,
+        untouched positions), so prefix columns — and the cached plans of
+        steps that never touch the suffix — survive with labels intact.
+
+        The suffix's elimination graph is reconstructed exactly: factor
+        cliques living entirely in the suffix, plus one clique per prefix
+        column over its suffix reach (its column pattern restricted to
+        the suffix — the clique its elimination induces there).  This
+        step's affected positions form the constrained "last" group.
+        Returns the new affected set (the whole suffix, plus prefix
+        positions freed from straddling supernodes).
+        """
+        n = self.num_positions
+        start = min(affected)
+        m = n - start
+        cliques: List[List[int]] = []
+        for index in sorted(self._lin):
+            positions = self._lin[index].positions
+            if len(positions) > 1 and positions[0] >= start:
+                cliques.append([p - start for p in positions])
+        for j in range(start):
+            reach = [q - start for q in self._col_struct[j] if q >= start]
+            if len(reach) > 1:
+                cliques.append(reach)
+        groups = [0] * m
+        for p in affected:
+            groups[p - start] = 1
+        local = amd_order_positions(m, cliques, groups)
+        self.reorders += 1
+        if local == list(range(m)):
+            return affected  # already optimal; nothing to remap
+        perm = np.arange(n, dtype=np.intp)
+        for new_local, old_local in enumerate(local):
+            perm[start + old_local] = start + new_local
+        extra = self._apply_order_permutation(perm, start)
+        return set(range(start, n)) | extra
+
+    def _apply_order_permutation(self, perm: np.ndarray,
+                                 start: int) -> Set[int]:
+        """Remap all engine state through ``perm`` (identity below
+        ``start``); returns prefix positions freed from straddling nodes.
+        """
+        n = self.num_positions
+        old_dims = self.dims
+        # (1) Tear down every node owning a suffix position while the old
+        # labels/offsets are still live (the carry subtraction needs the
+        # node's old pattern_idx).  A straddling node also frees prefix
+        # positions, which must then be rebuilt too.
+        extra: Set[int] = set()
+        dead = sorted({self.node_of[p] for p in range(start, n)
+                       if self.node_of[p] != -1})
+        for sid in dead:
+            node = self.nodes.pop(sid)
+            if node.v is not None:
+                self._carry.scatter_add(node.pattern_idx, node.v, -1.0)
+            for p in node.positions:
+                self.node_of[p] = -1
+                if p < start:
+                    extra.add(p)
+        # (2) Permute the position-indexed state.
+        inv = np.empty(n, dtype=np.intp)
+        inv[perm] = np.arange(n, dtype=np.intp)
+        self.order = [self.order[inv[p]] for p in range(n)]
+        self.pos_of = {key: p for p, key in enumerate(self.order)}
+        self.dims = [old_dims[inv[p]] for p in range(n)]
+        self.delta.permute_blocks(inv)
+        self._gradient.permute_blocks(inv)
+        self._carry.permute_blocks(inv)
+        # (3) Remap every cached linearization; factor order inside a
+        # contribution may flip, which block-permutes its Hessian.
+        for contrib in self._lin.values():
+            self._permute_contribution(contrib, perm, old_dims)
+        # (4) Rebuild factor seeding wholesale (ascending graph index, so
+        # assembly order — and float accumulation — is deterministic).
+        self._a_struct = [set() for _ in range(n)]
+        self._factors_at = {}
+        for index in sorted(self._lin):
+            positions = self._lin[index].positions
+            if len(positions) > 1:
+                self._a_struct[positions[0]].update(positions[1:])
+            self._factors_at.setdefault(positions[0], []).append(index)
+        # (5) Prefix column structures survive as variable sets — only
+        # suffix labels move; suffix columns are recomputed from scratch
+        # by _resolve_structure (their parents reset to -1 keeps the
+        # monotone-growth invariant silent).  Per-column fill rides the
+        # permutation (a relabeling preserves each column's dims).
+        old_struct = self._col_struct
+        old_fill = self._col_fill
+        new_fill = [0] * n
+        for p in range(n):
+            new_fill[int(perm[p])] = old_fill[p]
+        self._col_fill = new_fill
+        new_struct: List[List[int]] = [[] for _ in range(n)]
+        for j in range(start):
+            new_struct[j] = sorted(int(perm[q]) for q in old_struct[j])
+        self._col_struct = new_struct
+        self._parent = [-1] * n
+        self._children_pos = {}
+        for j in range(start):
+            struct = new_struct[j]
+            if struct:
+                self._parent[j] = struct[0]
+                self._children_pos.setdefault(struct[0], []).append(j)
+        # (6) Permute node ownership.
+        old_node_of = self.node_of
+        new_node_of = [-1] * n
+        for p in range(n):
+            new_node_of[int(perm[p])] = old_node_of[p]
+        self.node_of = new_node_of
+        # (7) Survivor nodes whose pattern reaches into the suffix keep
+        # their numeric factors but need relabeled, re-sorted patterns
+        # (permuting the cached L_B rows / C columns with them) and fresh
+        # state indices over the moved offsets.
+        for node in self.nodes.values():
+            self._permute_node_pattern(node, perm, old_dims, start)
+        # (8) Cached plans may hold frontal indices compiled against the
+        # old labels under signatures that could collide with post-reorder
+        # structures; drop them all — the next touch recompiles.
+        self._plans.clear()
+        return extra
+
+    def _permute_contribution(self, contrib: FactorContribution,
+                              perm: np.ndarray,
+                              old_dims: Sequence[int]) -> None:
+        new_positions = [int(perm[p]) for p in contrib.positions]
+        if all(a < b for a, b in zip(new_positions, new_positions[1:])):
+            contrib.positions = new_positions
+            return
+        order = sorted(range(len(new_positions)),
+                       key=new_positions.__getitem__)
+        bdims = [old_dims[p] for p in contrib.positions]
+        starts = np.concatenate([[0], np.cumsum(bdims)]).astype(np.intp)
+        scalar = np.concatenate([
+            np.arange(starts[i], starts[i + 1], dtype=np.intp)
+            for i in order])
+        contrib.hessian = contrib.hessian[np.ix_(scalar, scalar)]
+        contrib.gradient = contrib.gradient[scalar]
+        contrib.positions = sorted(new_positions)
+
+    def _permute_node_pattern(self, node: _Node, perm: np.ndarray,
+                              old_dims: Sequence[int], start: int) -> None:
+        if not node.pattern or node.pattern[-1] < start:
+            return  # prefix-only pattern: labels and offsets both stable
+        new_labels = [int(perm[q]) for q in node.pattern]
+        order = sorted(range(len(new_labels)), key=new_labels.__getitem__)
+        if order != list(range(len(order))):
+            bdims = [old_dims[q] for q in node.pattern]
+            starts = np.concatenate([[0], np.cumsum(bdims)]).astype(np.intp)
+            scalar = np.concatenate([
+                np.arange(starts[i], starts[i + 1], dtype=np.intp)
+                for i in order])
+            node.l_b = node.l_b[scalar, :]
+            node.c_update = node.c_update[np.ix_(scalar, scalar)]
+            if node.v is not None:
+                node.v = node.v[scalar]
+        node.pattern = sorted(new_labels)
+        node.pattern_idx = self.delta.indices(node.pattern)
+        node.pattern_arr = np.asarray(node.pattern, dtype=np.intp)
+        node.plan = reindexed_plan(node.plan, node.pattern_idx,
+                                   node.pattern_arr)
+
+    def tree_shape(self) -> Dict[str, float]:
+        """Shape of the live supernodal tree (cheap, O(#nodes) + O(1)
+        fill readout): height, max per-depth width, branch nodes, roots,
+        and scalar fill nnz of L."""
+        if not self.nodes:
+            return {"supernodes": 0.0, "height": 0.0, "max_width": 0.0,
+                    "branch_nodes": 0.0, "roots": 0.0,
+                    "fill_nnz": float(self._fill_total)}
+        depth: Dict[int, int] = {}
+        width: Dict[int, int] = {}
+        child_count: Dict[int, int] = {}
+        roots = 0
+        # Descending head position: a parent's head is always above its
+        # child's last position, so parents are visited first.
+        for node in sorted(self.nodes.values(),
+                           key=lambda nd: -nd.positions[0]):
+            if node.pattern:
+                parent_sid = self.node_of[node.pattern[0]]
+                d = depth[parent_sid] + 1
+                child_count[parent_sid] = child_count.get(parent_sid, 0) + 1
+            else:
+                d = 0
+                roots += 1
+            depth[node.sid] = d
+            width[d] = width.get(d, 0) + 1
+        return {
+            "supernodes": float(len(self.nodes)),
+            "height": float(max(depth.values())),
+            "max_width": float(max(width.values())),
+            "branch_nodes": float(sum(
+                1 for c in child_count.values() if c > 1)),
+            "roots": float(roots),
+            "fill_nnz": float(self._fill_total),
+        }
 
     # ------------------------------------------------------------------
     # phase E/F: supernode rebuild over the affected region
@@ -571,6 +837,12 @@ class IncrementalEngine:
                 cursor += d
         for p in range(self.num_positions):
             np.testing.assert_allclose(carry[p], self._carry[p], atol=1e-9)
+        fill = 0
+        for j in range(self.num_positions):
+            dj = self.dims[j]
+            below = sum(self.dims[q] for q in self._col_struct[j])
+            fill += dj * (dj + 1) // 2 + below * dj
+        assert fill == self._fill_total
         seen: Set[int] = set()
         for node in self.nodes.values():
             assert node.positions == sorted(node.positions)
@@ -596,15 +868,22 @@ class ISAM2:
     relin_threshold:
         Fluid relinearization threshold beta: variables with
         ``‖delta_j‖∞ > beta`` move their linearization point this step.
+    ordering / reorder_interval:
+        Engine ordering mode (``chronological`` or
+        ``constrained_colamd``) and re-ordering cadence; see
+        :class:`IncrementalEngine`.
     """
 
     def __init__(self, relin_threshold: float = 0.1,
                  wildfire_tol: float = 1e-5, damping: float = 0.0,
-                 max_supernode_vars: int = 8):
+                 max_supernode_vars: int = 8,
+                 ordering: str = "chronological",
+                 reorder_interval: int = 25):
         self.relin_threshold = float(relin_threshold)
         self.engine = IncrementalEngine(
             max_supernode_vars=max_supernode_vars,
-            wildfire_tol=wildfire_tol, damping=damping)
+            wildfire_tol=wildfire_tol, damping=damping,
+            ordering=ordering, reorder_interval=reorder_interval)
         self._step = -1
 
     def update(self, new_values: Dict[Key, object],

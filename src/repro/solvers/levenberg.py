@@ -17,7 +17,7 @@ from repro.factorgraph.values import Values
 from repro.linalg.cholesky import MultifrontalCholesky
 from repro.linalg.frontal import SingularHessianError
 from repro.linalg.plan import PlanCache
-from repro.linalg.ordering import chronological_order, minimum_degree_order
+from repro.linalg.ordering import OrderingSpec, make_ordering_policy
 from repro.linalg.symbolic import SymbolicFactorization
 from repro.solvers.linearize import linearize_graph
 
@@ -44,35 +44,33 @@ class LevenbergMarquardt:
         Starting damping and its multiplicative adaptation factor.
     max_iterations / tolerance:
         Outer-iteration cap and relative error-decrease stop criterion.
+    ordering:
+        An :class:`~repro.linalg.ordering.OrderingPolicy` name or
+        instance.
     """
 
     def __init__(self, max_iterations: int = 30, tolerance: float = 1e-9,
                  initial_lambda: float = 1e-4, lambda_factor: float = 10.0,
                  max_lambda: float = 1e8,
-                 ordering: str = "chronological"):
-        if ordering not in ("chronological", "minimum_degree"):
-            raise ValueError(f"unknown ordering {ordering!r}")
+                 ordering: OrderingSpec = "chronological"):
         self.max_iterations = int(max_iterations)
         self.tolerance = float(tolerance)
         self.initial_lambda = float(initial_lambda)
         self.lambda_factor = float(lambda_factor)
         self.max_lambda = float(max_lambda)
-        self.ordering = ordering
+        self.ordering_policy = make_ordering_policy(ordering)
+        self.ordering = self.ordering_policy.name
 
     def optimize(self, graph: FactorGraph,
                  initial: Values) -> LevenbergResult:
         values = initial.copy()
         keys = list(values.keys())
-        if self.ordering == "minimum_degree":
-            order = minimum_degree_order(
-                keys, [f.keys for f in graph.factors()])
-        else:
-            order = chronological_order(keys)
+        order = self.ordering_policy.order(
+            keys, [f.keys for f in graph.factors()])
         position_of: Dict[Key, int] = {k: i for i, k in enumerate(order)}
-        dims = [values.at(k).dim for k in order]
-        symbolic = SymbolicFactorization(
-            dims, [sorted(position_of[k] for k in f.keys)
-                   for f in graph.factors()])
+        symbolic = SymbolicFactorization.from_ordering(
+            order, {k: values.at(k).dim for k in order},
+            [f.keys for f in graph.factors()])
 
         # Damping varies per attempt but the structure never does, so
         # every per-lambda solver shares one step-plan cache (damping is

@@ -174,3 +174,24 @@ class BlockVector:
         """``data[idx] += sign * values`` (duplicate-safe)."""
         np.add.at(self._data, idx, values if sign == 1.0
                   else sign * values)
+
+    def permute_blocks(self, old_positions: Sequence[int]) -> None:
+        """Re-order blocks in place: new block ``p`` takes the contents
+        (and dimension) of old block ``old_positions[p]``.
+
+        ``old_positions`` must be a permutation of ``range(num_blocks)``.
+        Offsets are recomputed, so previously cached ``indices`` arrays
+        for blocks whose offsets moved become stale — callers (the
+        incremental engine's re-ordering pass) must refresh them.
+        """
+        order = np.asarray(old_positions, dtype=np.intp)
+        if order.size != self._nblocks:
+            raise ValueError("permutation length mismatch")
+        if order.size == 0:
+            return
+        idx = self.indices(order)
+        if idx.size != self._used:
+            raise ValueError("old_positions is not a permutation")
+        self._data[:self._used] = self._data[idx]
+        dims = self._offsets[order + 1] - self._offsets[order]
+        np.cumsum(dims, out=self._offsets[1:self._nblocks + 1])

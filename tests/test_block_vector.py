@@ -151,3 +151,51 @@ class TestErrors:
         bv = BlockVector.from_blocks([np.zeros(2)])
         with pytest.raises(ValueError):
             bv[0] = np.zeros(3)
+
+
+class TestPermuteBlocks:
+    def test_permutes_data_and_dims(self):
+        bv = BlockVector.from_blocks(
+            [np.array([1.0, 2.0]), np.array([3.0]),
+             np.array([4.0, 5.0, 6.0])])
+        # New position p holds what was at old_positions[p].
+        bv.permute_blocks([2, 0, 1])
+        np.testing.assert_array_equal(bv[0], [4.0, 5.0, 6.0])
+        np.testing.assert_array_equal(bv[1], [1.0, 2.0])
+        np.testing.assert_array_equal(bv[2], [3.0])
+        assert bv.dim_of(0) == 3
+        assert bv.dim_of(2) == 1
+        assert bv.total_dim == 6
+
+    def test_identity_is_noop(self):
+        bv = BlockVector.from_blocks([np.array([1.0]), np.array([2.0])])
+        bv.permute_blocks([0, 1])
+        np.testing.assert_array_equal(bv[0], [1.0])
+        np.testing.assert_array_equal(bv[1], [2.0])
+
+    def test_empty(self):
+        bv = BlockVector()
+        bv.permute_blocks([])
+        assert bv.num_blocks == 0
+
+    def test_roundtrip_inverse(self):
+        rng = np.random.default_rng(3)
+        blocks = [rng.normal(size=1 + i % 3) for i in range(12)]
+        bv = BlockVector.from_blocks(blocks)
+        perm = rng.permutation(12)
+        bv.permute_blocks(perm)
+        inverse = np.empty(12, dtype=int)
+        inverse[perm] = np.arange(12)
+        bv.permute_blocks(inverse)
+        for i, block in enumerate(blocks):
+            np.testing.assert_array_equal(bv[i], block)
+
+    def test_wrong_length_rejected(self):
+        bv = BlockVector.from_blocks([np.zeros(2), np.zeros(1)])
+        with pytest.raises(ValueError):
+            bv.permute_blocks([0])
+
+    def test_non_permutation_rejected(self):
+        bv = BlockVector.from_blocks([np.zeros(2), np.zeros(1)])
+        with pytest.raises(ValueError):
+            bv.permute_blocks([0, 0])

@@ -1,5 +1,6 @@
 """Tests for block symbolic factorization, etree, and supernodes."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -159,3 +160,52 @@ class TestOrdering:
         factors += [tuple(sorted(e)) for e in extra if e[0] != e[1]]
         order = minimum_degree_order(range(n), factors)
         assert sorted(order) == list(range(n))
+
+
+class TestKeysAndTreeStats:
+    def test_from_ordering_round_trips_keys(self):
+        order = ["b", "a", "c"]
+        dims = {"a": 3, "b": 2, "c": 3}
+        symbolic = SymbolicFactorization.from_ordering(
+            order, dims, [("a", "b"), ("a", "c")])
+        assert symbolic.dims == [2, 3, 3]
+        for p, key in enumerate(order):
+            assert symbolic.key_at(p) == key
+            assert symbolic.position_of(key) == p
+
+    def test_keys_length_validated(self):
+        with pytest.raises(ValueError):
+            SymbolicFactorization([1, 1], [(0, 1)], keys=["a"])
+
+    def test_no_keys_raises(self):
+        symbolic = SymbolicFactorization([1, 1], [(0, 1)])
+        with pytest.raises(ValueError):
+            symbolic.key_at(0)
+        with pytest.raises(ValueError):
+            symbolic.position_of("a")
+
+    def test_chain_stats_are_a_path(self):
+        symbolic = SymbolicFactorization(
+            [1] * 6, chain_factors(6), max_supernode_vars=1)
+        stats = symbolic.tree_stats()
+        assert stats["supernodes"] == 6.0
+        assert stats["height"] == 5.0
+        assert stats["max_width"] == 1.0
+        assert stats["branch_nodes"] == 0.0
+        assert stats["roots"] == 1.0
+        assert stats["fill_nnz"] == float(symbolic.fill_nnz())
+
+    def test_branching_tree_stats(self):
+        # Two independent chains joined by a shared root variable.
+        factors = [(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)]
+        symbolic = SymbolicFactorization(
+            [1] * 7, factors, max_supernode_vars=1)
+        stats = symbolic.tree_stats()
+        assert stats["roots"] == 1.0
+        assert stats["branch_nodes"] >= 1.0
+        assert stats["max_width"] >= 2.0
+
+    def test_empty(self):
+        stats = SymbolicFactorization([], []).tree_stats()
+        assert stats["supernodes"] == 0.0
+        assert stats["height"] == 0.0

@@ -1,0 +1,142 @@
+"""Property test: estimates are invariant to the elimination ordering.
+
+Every ordering policy permutes the same normal equations, so batch
+Gauss-Newton and the fixed-lag smoother must produce the same estimates
+(up to floating-point roundoff) on randomized SE2 pose graphs with loop
+closures and bearing-range landmarks.
+"""
+
+import math
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factorgraph import (
+    BearingRangeFactor2D,
+    BetweenFactorSE2,
+    FactorGraph,
+    IsotropicNoise,
+    PriorFactorPoint2,
+    PriorFactorSE2,
+    Values,
+)
+from repro.geometry import SE2, Point2
+from repro.linalg.ordering import ordering_names
+from repro.solvers import GaussNewton
+from repro.solvers.fixed_lag import FixedLagSmoother
+
+NOISE2 = IsotropicNoise(2, 0.1)
+NOISE3 = IsotropicNoise(3, 0.1)
+
+LANDMARK = 1000  # landmark keys start here, after any pose key
+
+
+def bearing_range(pose: SE2, point: Point2):
+    d = pose.rot.inverse().matrix() @ (point.v - pose.t)
+    return math.atan2(d[1], d[0]), float(np.linalg.norm(d))
+
+
+def build_problem(num_poses, num_landmarks, num_closures, seed):
+    """Noisy chain + closures + landmark sightings, step by step.
+
+    Returns per-step ``(new_values, factors)`` pairs usable both for a
+    batch solve and for feeding an incremental/fixed-lag solver.
+    """
+    rng = random.Random(seed)
+    truth = [SE2(0.0, 0.0, 0.0)]
+    for _ in range(num_poses - 1):
+        motion = SE2(1.0 + rng.uniform(-0.2, 0.2),
+                     rng.uniform(-0.3, 0.3),
+                     rng.uniform(-0.4, 0.4))
+        truth.append(truth[-1].compose(motion))
+    landmarks = [Point2(2.0 * i + 1.0, 3.0 + rng.uniform(0.0, 2.0))
+                 for i in range(num_landmarks)]
+
+    def noisy_pose(pose):
+        return pose.retract(np.array([rng.gauss(0, 0.05)
+                                      for _ in range(3)]))
+
+    steps = []
+    for i in range(num_poses):
+        new_values = {i: noisy_pose(truth[i])}
+        factors = []
+        if i == 0:
+            factors.append(PriorFactorSE2(0, truth[0], NOISE3))
+        else:
+            factors.append(BetweenFactorSE2(
+                i - 1, i, truth[i - 1].inverse().compose(truth[i]),
+                NOISE3))
+        if i >= 2:
+            for _ in range(num_closures):
+                if rng.random() < 0.25:
+                    j = rng.randrange(0, i - 1)
+                    factors.append(BetweenFactorSE2(
+                        j, i, truth[j].inverse().compose(truth[i]),
+                        NOISE3))
+        if i < num_landmarks:
+            key = LANDMARK + i
+            point = landmarks[i]
+            new_values[key] = Point2(point.v
+                                     + np.array([rng.gauss(0, 0.05),
+                                                 rng.gauss(0, 0.05)]))
+            factors.append(PriorFactorPoint2(key, point, NOISE2))
+            bearing, rng_dist = bearing_range(truth[i], point)
+            factors.append(BearingRangeFactor2D(
+                i, key, bearing, rng_dist, NOISE2))
+        steps.append((new_values, factors))
+    return steps
+
+
+def assert_values_close(reference: Values, other: Values, atol=1e-9):
+    assert sorted(reference.keys()) == sorted(other.keys())
+    for key in reference.keys():
+        np.testing.assert_allclose(
+            reference.at(key).local(other.at(key)),
+            np.zeros(reference.at(key).dim), atol=atol,
+            err_msg=f"key {key}")
+
+
+@settings(max_examples=12, deadline=None)
+@given(num_poses=st.integers(5, 12),
+       num_landmarks=st.integers(0, 3),
+       num_closures=st.integers(0, 3),
+       seed=st.integers(0, 10_000))
+def test_gauss_newton_invariant_to_ordering(num_poses, num_landmarks,
+                                            num_closures, seed):
+    steps = build_problem(num_poses, num_landmarks, num_closures, seed)
+    graph = FactorGraph()
+    initial = Values()
+    for new_values, factors in steps:
+        for key, value in new_values.items():
+            initial.insert(key, value)
+        for factor in factors:
+            graph.add(factor)
+
+    results = {}
+    for name in ordering_names():
+        solver = GaussNewton(max_iterations=10, tolerance=1e-12,
+                             ordering=name)
+        results[name] = solver.optimize(graph, initial).values
+    reference = results["chronological"]
+    for name, values in results.items():
+        assert_values_close(reference, values)
+
+
+@settings(max_examples=8, deadline=None)
+@given(num_poses=st.integers(6, 12),
+       num_landmarks=st.integers(0, 2),
+       seed=st.integers(0, 10_000))
+def test_fixed_lag_invariant_to_ordering(num_poses, num_landmarks, seed):
+    steps = build_problem(num_poses, num_landmarks, 2, seed)
+    results = {}
+    for name in ordering_names():
+        smoother = FixedLagSmoother(window=5, iterations=2,
+                                    ordering=name)
+        for new_values, factors in steps:
+            smoother.update(new_values, factors)
+        results[name] = smoother.estimate()
+    reference = results["chronological"]
+    for name, values in results.items():
+        assert_values_close(reference, values)
