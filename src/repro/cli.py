@@ -5,11 +5,14 @@ Subcommands::
     python -m repro generate --dataset M3500 --scale 0.1 out.g2o
     python -m repro solve in.g2o --solver lm --out solved.g2o
     python -m repro simulate --dataset CAB1 --scale 0.2 --platform supernova2
+    python -m repro autotune --dataset CAB2 --max-area-um2 1262000
     python -m repro info in.g2o
 
 ``solve`` optimizes a g2o pose graph (Gauss-Newton, Levenberg-Marquardt
 or incremental ISAM2); ``simulate`` streams a generated dataset through
-RA-ISAM2 on a chosen platform model and reports latency/miss statistics.
+RA-ISAM2 on a chosen platform model and reports latency/miss statistics;
+``autotune`` replays a recorded workload over the SuperNoVA design grid
+and reports the latency/area/energy Pareto front.
 """
 
 from __future__ import annotations
@@ -31,15 +34,7 @@ from repro.datasets import (
 from repro.factorgraph import FactorGraph, PriorFactorSE2, PriorFactorSE3
 from repro.factorgraph.noise import DiagonalNoise
 from repro.geometry import SE2, SE3
-from repro.hardware import (
-    boom_cpu,
-    embedded_gpu,
-    mobile_cpu,
-    mobile_dsp,
-    server_cpu,
-    spatula_soc,
-    supernova_soc,
-)
+from repro.hardware.registry import make_platform
 from repro.linalg.ordering import ordering_names
 from repro.metrics import latency_stats
 from repro.runtime import NodeCostModel
@@ -53,16 +48,17 @@ DATASETS = {
     "CAB2": cab2_dataset,
 }
 
+#: CLI platform name -> registry platform name (see repro.hardware.registry).
 PLATFORMS = {
-    "boom": boom_cpu,
-    "mobile-cpu": mobile_cpu,
-    "mobile-dsp": mobile_dsp,
-    "server": server_cpu,
-    "gpu": embedded_gpu,
-    "spatula2": lambda: spatula_soc(2),
-    "supernova1": lambda: supernova_soc(1),
-    "supernova2": lambda: supernova_soc(2),
-    "supernova4": lambda: supernova_soc(4),
+    "boom": "BOOM",
+    "mobile-cpu": "MobileCPU",
+    "mobile-dsp": "MobileDSP",
+    "server": "ServerCPU",
+    "gpu": "EmbeddedGPU",
+    "spatula2": "Spatula2S",
+    "supernova1": "SuperNoVA1S",
+    "supernova2": "SuperNoVA2S",
+    "supernova4": "SuperNoVA4S",
 }
 
 
@@ -150,7 +146,7 @@ def cmd_solve(args) -> int:
 
 def cmd_simulate(args) -> int:
     data = DATASETS[args.dataset](scale=args.scale, seed=args.seed)
-    soc = PLATFORMS[args.platform]()
+    soc = make_platform(PLATFORMS[args.platform])
     target = args.target_ms * 1e-3
     if soc.has_accelerators:
         solver = RAISAM2(NodeCostModel(soc), target_seconds=target,
@@ -177,6 +173,52 @@ def cmd_simulate(args) -> int:
               f"max width {int(last.extras['tree_max_width'])}, "
               f"fill {int(last.extras['tree_fill_nnz'])} nnz")
     return 0
+
+
+def cmd_autotune(args) -> int:
+    """Design-space sweep over recorded traces (see hardware.autotune)."""
+    from repro.hardware.autotune import default_grid
+    from repro.experiments.autotune_report import (
+        autotune_dataset,
+        autotune_report,
+    )
+
+    axes = {}
+    if args.dims:
+        axes["systolic_dims"] = args.dims
+    if args.sets:
+        axes["set_counts"] = args.sets
+    if args.tiles:
+        axes["tile_counts"] = args.tiles
+    if args.llc_kib:
+        axes["llc_sizes"] = [kib * 1024 for kib in args.llc_kib]
+    if args.dram:
+        axes["dram_bandwidths"] = args.dram
+    grid = default_grid(**axes)
+    log = (lambda msg: print(msg, file=sys.stderr)) if args.verbose \
+        else None
+    result = autotune_dataset(args.dataset, grid=grid, log=log)
+    print(autotune_report(result, top=args.top))
+    if args.max_area_um2 is not None or args.max_power_w is not None:
+        best = result.best_under(max_area_um2=args.max_area_um2,
+                                 max_power_watts=args.max_power_w)
+        if best is None:
+            print("no configuration satisfies the requested budget")
+            return 1
+        point = result.points[best]
+        print(f"best under requested budget: {point.label} "
+              f"({1e3 * result.total_seconds[best]:.2f} ms, "
+              f"{result.area_um2[best]:.0f} um^2, "
+              f"{1e3 * result.peak_power_watts[best]:.0f} mW)")
+    return 0
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _float_list(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -219,6 +261,35 @@ def build_parser() -> argparse.ArgumentParser:
                      default="chronological",
                      help="incremental elimination ordering policy")
     sim.set_defaults(func=cmd_simulate)
+
+    tune = sub.add_parser(
+        "autotune",
+        help="design-space sweep over a recorded workload's traces")
+    tune.add_argument("--dataset", choices=sorted(DATASETS),
+                      default="CAB2",
+                      help="workload (scaled like the benchmark suite; "
+                           "set REPRO_SCALE/REPRO_FULL to change)")
+    tune.add_argument("--dims", type=_int_list, default=None,
+                      metavar="D1,D2,...",
+                      help="systolic array dimensions (default 2,4,8,16)")
+    tune.add_argument("--sets", type=_int_list, default=None,
+                      metavar="N1,N2,...",
+                      help="accelerator set counts (default 1,2,3,4)")
+    tune.add_argument("--tiles", type=_int_list, default=None,
+                      metavar="N1,N2,...",
+                      help="CPU tile counts (default 1,2,3,4)")
+    tune.add_argument("--llc-kib", type=_int_list, default=None,
+                      metavar="K1,K2,...",
+                      help="LLC sizes in KiB (default 512,1024,2048,4096)")
+    tune.add_argument("--dram", type=_float_list, default=None,
+                      metavar="B1,B2,...",
+                      help="DRAM bytes/cycle (default 8,16,32,64)")
+    tune.add_argument("--top", type=int, default=16,
+                      help="Pareto-front rows to print")
+    tune.add_argument("--max-area-um2", type=float, default=None)
+    tune.add_argument("--max-power-w", type=float, default=None)
+    tune.add_argument("--verbose", action="store_true")
+    tune.set_defaults(func=cmd_autotune)
     return parser
 
 

@@ -14,7 +14,7 @@ from repro.experiments.common import (
     reference_trajectory,
     target_for,
 )
-from repro.hardware import supernova_soc
+from repro.hardware.registry import make_platform
 from repro.linalg.ordering import make_ordering_policy, ordering_names
 from repro.linalg.symbolic import SymbolicFactorization
 from repro.runtime import NodeCostModel
@@ -64,7 +64,7 @@ def amalgamation_ablation(
     huge ones blow up the frontal workspaces.  Returns the summed numeric
     latency on 2 SuperNoVA sets per cap.
     """
-    soc = supernova_soc(2)
+    soc = make_platform("SuperNoVA2S")
     results: Dict[int, float] = {}
     for cap in supernode_sizes:
         solver = ISAM2(relin_threshold=0.05, max_supernode_vars=cap)
@@ -84,7 +84,7 @@ def selection_policy_ablation(
     win on accuracy because the most-drifted variables carry the largest
     linearization error (paper Section 4.1's intuition).
     """
-    soc = supernova_soc(1)
+    soc = make_platform("SuperNoVA1S")
     results: Dict[str, Dict[str, float]] = {}
     for policy in policies:
         solver = RAISAM2(NodeCostModel(soc),
@@ -110,7 +110,7 @@ def cost_model_fidelity(name: str = "CAB2",
     ablation reports how the per-step estimated charge compares with the
     executor's realized numeric+symbolic+relin latency.
     """
-    soc = supernova_soc(sets)
+    soc = make_platform(f"SuperNoVA{sets}S")
     solver = RAISAM2(NodeCostModel(soc), target_seconds=target_for(name))
     run = run_online(solver, dataset(name), soc=soc, collect_errors=False)
     estimated: List[float] = []

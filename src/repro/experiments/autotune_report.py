@@ -1,0 +1,107 @@
+"""Harness + report rendering for the design-space autotuner.
+
+Wires :mod:`repro.hardware.autotune` to the cached experiment runs and
+formats its results for the ``repro autotune`` CLI subcommand and the
+``benchmarks/results/autotune.txt`` artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import format_table, isam2_run
+from repro.hardware.area import AREA_TABLE
+from repro.hardware.autotune import (
+    AutotuneResult,
+    DesignPoint,
+    RecordedWorkload,
+    autotune,
+)
+
+
+def recorded_workload(dataset_name: str = "CAB2") -> RecordedWorkload:
+    """The cached incremental run's traces as a replayable workload."""
+    return RecordedWorkload.from_run(isam2_run(dataset_name))
+
+
+def autotune_dataset(dataset_name: str = "CAB2",
+                     grid: Optional[Sequence[DesignPoint]] = None,
+                     log=None) -> AutotuneResult:
+    """Run the autotuner over a dataset's recorded traces."""
+    return autotune(recorded_workload(dataset_name), grid=grid, log=log)
+
+
+def _point_row(result: AutotuneResult, index: int) -> list:
+    point = result.points[index]
+    return [
+        point.label,
+        f"{1e3 * result.total_seconds[index]:.2f}",
+        f"{result.area_um2[index]:.0f}",
+        f"{1e3 * result.peak_power_watts[index]:.0f}",
+        f"{1e3 * result.energy_joules[index]:.2f}",
+        "*" if result.pareto[index] else "",
+    ]
+
+
+_HEADERS = ["Config", "total (ms)", "area (um^2)", "peak (mW)",
+            "energy (mJ)", "Pareto"]
+
+
+def autotune_front_table(result: AutotuneResult, top: int = 16) -> str:
+    """The Pareto front (fastest ``top`` members) as an ASCII table."""
+    front = result.front_indices()
+    front.sort(key=lambda i: (result.total_seconds[i],
+                              result.area_um2[i]))
+    return format_table(_HEADERS,
+                        [_point_row(result, i) for i in front[:top]])
+
+
+def autotune_summary(result: AutotuneResult) -> str:
+    """Sweep statistics + best configs under representative budgets.
+
+    The budget lines answer the paper's co-design question directly:
+    the fastest configuration no larger than one BOOM core, and the
+    fastest under a 0.5 W accelerator power cap.
+    """
+    lines = [
+        f"workload {result.workload}: {result.num_configs} configurations "
+        f"swept via {result.distinct_schedules} schedule replays and "
+        f"{result.distinct_pricings} trace pricings",
+        f"Pareto front (latency/area/energy): "
+        f"{int(result.pareto.sum())} configurations",
+    ]
+    boom = AREA_TABLE["boom_baseline"]
+    for label, area, power in (
+            ("area <= 1 BOOM core", boom, None),
+            ("peak power <= 0.5 W", None, 0.5),
+            ("1 BOOM core and <= 0.5 W", boom, 0.5)):
+        best = result.best_under(max_area_um2=area, max_power_watts=power)
+        if best is None:
+            lines.append(f"best under {label}: none feasible")
+        else:
+            point = result.points[best]
+            lines.append(
+                f"best under {label}: {point.label} "
+                f"({1e3 * result.total_seconds[best]:.2f} ms, "
+                f"{result.area_um2[best]:.0f} um^2, "
+                f"{1e3 * result.peak_power_watts[best]:.0f} mW)")
+    return "\n".join(lines)
+
+
+def autotune_report(result: AutotuneResult, top: int = 16) -> str:
+    return (autotune_summary(result) + "\n\n"
+            + autotune_front_table(result, top=top))
+
+
+def front_contains(result: AutotuneResult,
+                   legacy_front: Sequence[tuple]) -> bool:
+    """True when every legacy (dim, sets) front point — mapped to the
+    grid at Table 3's LLC/DRAM corner with ``cpu_tiles = sets`` — is in
+    the sweep's Pareto front."""
+    front = set(result.front_indices())
+    for dim, sets in legacy_front:
+        point = DesignPoint(systolic_dim=dim, accel_sets=sets,
+                            cpu_tiles=sets)
+        if result.index_of(point) not in front:
+            return False
+    return True

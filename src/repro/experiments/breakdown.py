@@ -11,7 +11,7 @@ import numpy as np
 from repro.datasets import FrontendModel, euroc_like_dataset, run_online
 from repro.experiments.common import dataset_scale, format_table, \
     isam2_run, price_run
-from repro.hardware import boom_cpu, server_cpu, supernova_soc
+from repro.hardware.registry import make_platform
 from repro.linalg.trace import KINDS, OpKind
 from repro.solvers import ISAM2
 
@@ -22,7 +22,7 @@ def _euroc_run():
     scale = dataset_scale("CAB2") * 4.0  # EuRoC is much smaller than CAB2
     data = euroc_like_dataset(scale=min(1.0, scale))
     solver = ISAM2(relin_threshold=0.05)
-    return run_online(solver, data, soc=supernova_soc(2),
+    return run_online(solver, data, soc=make_platform("SuperNoVA2S"),
                       collect_errors=False)
 
 
@@ -36,7 +36,7 @@ def figure2() -> Dict[str, object]:
     CPU model.
     """
     run = _euroc_run()
-    latencies = price_run(run, server_cpu())
+    latencies = price_run(run, make_platform("ServerCPU"))
     backend = [lat.total for lat in latencies]
     frontend = FrontendModel().sequence_seconds(len(backend))
     mean = sum(backend) / len(backend)
@@ -82,7 +82,7 @@ def figure3(name: str = "CAB2") -> Dict[str, float]:
     over each node's kind codes instead of a per-op Python loop.
     """
     run = isam2_run(name)
-    soc = boom_cpu()
+    soc = make_platform("BOOM")
     host = soc.host
     buckets: Dict[str, float] = {}
     group_cycles = np.zeros(len(_GROUP_NAMES))

@@ -29,8 +29,8 @@ from repro.datasets import (
     sphere_dataset,
 )
 from repro.datasets.pose_graph import PoseGraphDataset
-from repro.hardware import server_cpu, supernova_soc
 from repro.hardware.platforms import SoCConfig
+from repro.hardware.registry import make_platform
 from repro.pipeline import BackendPipeline, SnapshotStage, reprice_run
 from repro.runtime import NodeCostModel, RuntimeFeatures, StepLatency
 from repro.solvers import ISAM2
@@ -107,7 +107,7 @@ def isam2_run(name: str, collect_errors: bool = True,
     """
     solver = ISAM2(relin_threshold=RELIN_THRESHOLD, ordering=ordering)
     # Traces are collected by passing any SoC; latencies priced later.
-    return run_online(solver, dataset(name), soc=supernova_soc(2),
+    return run_online(solver, dataset(name), soc=make_platform("SuperNoVA2S"),
                       collect_errors=collect_errors,
                       error_every=ERROR_EVERY,
                       reference=reference_trajectory(name))
@@ -122,7 +122,7 @@ def price_run(run: OnlineRun, soc: SoCConfig,
 
 def make_ra_solver(sets: int, target: float = TARGET_SECONDS,
                    soc: Optional[SoCConfig] = None) -> RAISAM2:
-    soc = soc or supernova_soc(sets)
+    soc = soc or make_platform(f"SuperNoVA{sets}S")
     return RAISAM2(NodeCostModel(soc), target_seconds=target)
 
 
@@ -131,9 +131,9 @@ def ra_run(name: str, sets: int,
            platform: str = "supernova") -> OnlineRun:
     """RA-ISAM2 run on a platform config ('supernova' or 'cpu')."""
     if platform == "cpu":
-        soc = server_cpu()
+        soc = make_platform("ServerCPU")
     else:
-        soc = supernova_soc(sets)
+        soc = make_platform(f"SuperNoVA{sets}S")
     solver = RAISAM2(NodeCostModel(soc), target_seconds=target_for(name))
     return run_online(solver, dataset(name), soc=soc,
                       collect_errors=True, error_every=ERROR_EVERY,

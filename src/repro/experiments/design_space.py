@@ -2,40 +2,41 @@
 
 Paper Section 4.2: "SoC components, including the accelerator
 configuration and the number of accelerators and CPU tiles, are all
-configurable at design time."  This harness sweeps the configurable axes
+configurable at design time."  This harness sweeps the two headline axes
 (systolic array dimension, accelerator sets) against one workload's
 traces and reports the latency/area trade-off.
+
+The platforms come from the declarative registry
+(:func:`repro.hardware.registry.make_platform` with a ``systolic_dim``
+override), area from the parametric Table 5 model
+(:func:`repro.hardware.area.platform_area`), and the dominance check
+from the vectorized kernel shared with the full autotuner
+(:func:`repro.hardware.autotune.pareto_mask`).  The thousand-point sweep
+over all five axes lives in :mod:`repro.hardware.autotune`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.experiments.common import format_table, isam2_run, price_run
-from repro.hardware import ComputeAccelerator, MemoryAccelerator
-from repro.hardware.area import AREA_TABLE
-from repro.hardware.platforms import SoCConfig, rocket_cpu
+from repro.hardware.area import AREA_TABLE, platform_area
+from repro.hardware.autotune import pareto_mask
+from repro.hardware.platforms import SoCConfig
+from repro.hardware.registry import make_platform, platform_spec
 
 
 def _soc(systolic_dim: int, accel_sets: int) -> SoCConfig:
-    return SoCConfig(
-        f"Nova-{systolic_dim}x{systolic_dim}-{accel_sets}S",
-        host=rocket_cpu(),
-        accel_sets=accel_sets,
-        cpu_tiles=accel_sets,
-        comp=ComputeAccelerator(systolic_dim=systolic_dim),
-        mem=MemoryAccelerator(),
-        frequency_hz=1.0e9,
-    )
+    return make_platform(f"SuperNoVA{accel_sets}S",
+                         systolic_dim=systolic_dim)
 
 
 def _area_estimate(systolic_dim: int, accel_sets: int) -> float:
-    """Area in um^2: the mesh scales quadratically with the array dim."""
-    base_mesh = AREA_TABLE["comp_mesh"]
-    mesh = base_mesh * (systolic_dim / 4.0) ** 2
-    comp = AREA_TABLE["comp_tile"] - base_mesh + mesh
-    per_set = comp + AREA_TABLE["mem_tile"]
-    return accel_sets * (per_set + AREA_TABLE["rocket_cpu_tile"])
+    """Area in um^2 of the spec (mesh scales quadratically with dim)."""
+    return platform_area(platform_spec(f"SuperNoVA{accel_sets}S",
+                                       systolic_dim=systolic_dim))
 
 
 def design_space_sweep(
@@ -61,17 +62,11 @@ def design_space_sweep(
 def pareto_points(results: Dict[Tuple[int, int], Dict[str, float]],
                   ) -> List[Tuple[int, int]]:
     """Configurations not dominated in (numeric latency, area)."""
-    points = []
-    for config, entry in results.items():
-        dominated = any(
-            other["numeric_seconds"] <= entry["numeric_seconds"]
-            and other["area_um2"] <= entry["area_um2"]
-            and (other["numeric_seconds"] < entry["numeric_seconds"]
-                 or other["area_um2"] < entry["area_um2"])
-            for other in results.values())
-        if not dominated:
-            points.append(config)
-    return sorted(points)
+    configs = sorted(results)
+    objectives = np.array([[results[c]["numeric_seconds"],
+                            results[c]["area_um2"]] for c in configs])
+    keep = pareto_mask(objectives)
+    return [config for config, kept in zip(configs, keep) if kept]
 
 
 def design_space_table(results: Dict[Tuple[int, int], Dict[str, float]],

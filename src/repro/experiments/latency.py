@@ -11,25 +11,19 @@ from repro.experiments.common import (
     isam2_run,
     price_run,
 )
-from repro.hardware import (
-    boom_cpu,
-    embedded_gpu,
-    mobile_cpu,
-    mobile_dsp,
-    server_cpu,
-    spatula_soc,
-    supernova_soc,
-)
+from repro.hardware.registry import make_platform
 from repro.runtime import RuntimeFeatures
 
+#: (figure label, registry platform name) — realized via make_platform,
+#: so repeated pricings share one model instance per platform.
 FIG8_PLATFORMS = (
-    ("BOOM", boom_cpu),
-    ("MobileCPU", mobile_cpu),
-    ("MobileDSP", mobile_dsp),
-    ("ServerCPU", server_cpu),
-    ("EmbeddedGPU", embedded_gpu),
-    ("Spatula", lambda: spatula_soc(2)),
-    ("SuperNoVA", lambda: supernova_soc(2)),
+    ("BOOM", "BOOM"),
+    ("MobileCPU", "MobileCPU"),
+    ("MobileDSP", "MobileDSP"),
+    ("ServerCPU", "ServerCPU"),
+    ("EmbeddedGPU", "EmbeddedGPU"),
+    ("Spatula", "Spatula2S"),
+    ("SuperNoVA", "SuperNoVA2S"),
 )
 
 
@@ -46,8 +40,8 @@ def figure8(datasets: Sequence[str] = DATASETS,
     for name in datasets:
         run = isam2_run(name)
         per_platform: Dict[str, Dict[str, float]] = {}
-        for label, factory in FIG8_PLATFORMS:
-            latencies = price_run(run, factory())
+        for label, platform in FIG8_PLATFORMS:
+            latencies = price_run(run, make_platform(platform))
             per_platform[label] = {
                 "total": sum(lat.total for lat in latencies),
                 "numeric": sum(lat.numeric for lat in latencies),
@@ -109,7 +103,7 @@ FIG9_CONFIGS = (
 def figure9(datasets: Sequence[str] = ("Sphere", "CAB2"),
             accel_sets: int = 2) -> Dict[str, Dict[str, float]]:
     """Numeric latency as runtime optimizations are enabled cumulatively."""
-    soc = supernova_soc(accel_sets)
+    soc = make_platform(f"SuperNoVA{accel_sets}S")
     results: Dict[str, Dict[str, float]] = {}
     for name in datasets:
         run = isam2_run(name)
@@ -147,7 +141,7 @@ def figure9_ordering(datasets: Sequence[str] = ("Sphere", "CAB2"),
     under constrained COLAMD (bushier tree) isolates how much of the
     attribution comes from the ordering rather than the scheduler.
     """
-    soc = supernova_soc(accel_sets)
+    soc = make_platform(f"SuperNoVA{accel_sets}S")
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name in datasets:
         per_ordering: Dict[str, Dict[str, float]] = {}

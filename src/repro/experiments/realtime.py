@@ -12,7 +12,7 @@ from repro.experiments.common import (
     ra_run,
     target_for,
 )
-from repro.hardware import supernova_soc
+from repro.hardware.registry import make_platform
 from repro.metrics import LatencyStats, breakdown_means, latency_stats
 
 
@@ -31,7 +31,8 @@ def figure10(datasets: Sequence[str] = DATASETS,
         entry: Dict[str, LatencyStats] = {}
         target = target_for(name)
         for sets in set_counts:
-            latencies = price_run(incremental, supernova_soc(sets))
+            latencies = price_run(incremental,
+                                  make_platform(f"SuperNoVA{sets}S"))
             entry[f"In{sets}S"] = latency_stats(
                 [lat.total for lat in latencies], target)
             ra = ra_run(name, sets)
@@ -66,7 +67,8 @@ def figure11(datasets: Sequence[str] = ("CAB2", "M3500"),
         entry: Dict[str, Dict[str, float]] = {}
         incremental = isam2_run(name)
         for sets in set_counts:
-            latencies = price_run(incremental, supernova_soc(sets))
+            latencies = price_run(incremental,
+                                  make_platform(f"SuperNoVA{sets}S"))
             entry[f"In{sets}S"] = breakdown_means(
                 lat.as_dict() for lat in latencies)
             ra = ra_run(name, sets)

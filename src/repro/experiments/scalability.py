@@ -14,7 +14,7 @@ from typing import Dict, Sequence
 from repro.core import RAISAM2
 from repro.datasets import cab2_dataset, run_online
 from repro.experiments.common import TARGET_SECONDS, format_table
-from repro.hardware import supernova_soc
+from repro.hardware.registry import make_platform
 from repro.metrics import latency_stats
 from repro.runtime import NodeCostModel
 
@@ -29,7 +29,7 @@ def scalability_sweep(
     size) so that longer histories face proportionally tighter budgets —
     the regime where deferral/dropping kicks in.
     """
-    soc = supernova_soc(sets)
+    soc = make_platform(f"SuperNoVA{sets}S")
     target = TARGET_SECONDS * scales[0]
     results: Dict[float, Dict[str, float]] = {}
     for scale in scales:

@@ -12,8 +12,9 @@ from repro.experiments.common import (
     ra_run,
 )
 from repro.experiments.accuracy import local_run, local_global_run
-from repro.hardware import PowerModel, area_summary, supernova_soc
+from repro.hardware import PowerModel, area_summary
 from repro.hardware.area import AREA_TABLE
+from repro.hardware.registry import make_platform
 from repro.hardware.power import (
     EMBEDDED_GPU_RANGE_W,
     FPGA_RANGE_W,
@@ -50,7 +51,7 @@ def table2(name: str = "Sphere") -> Dict[str, Dict[str, bool]]:
         floor = max(incremental.step_rmse[-1], 1e-6)
         return run.step_rmse[-1] < 3.0 * floor + 1.0
 
-    inc_latencies = price_run(incremental, supernova_soc(1))
+    inc_latencies = price_run(incremental, make_platform("SuperNoVA1S"))
 
     def bounded(latencies) -> bool:
         return max(lat.total for lat in latencies) <= target
@@ -142,7 +143,7 @@ def power_analysis(name: str = "CAB1") -> Dict[str, float]:
     loop's ``continue``).
     """
     model = PowerModel()
-    soc = supernova_soc(2)
+    soc = make_platform("SuperNoVA2S")
     run = isam2_run(name)
     energy = 0.0
     for report in run.reports:

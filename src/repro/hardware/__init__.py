@@ -30,8 +30,26 @@ from repro.hardware.platforms import (
     spatula_soc,
     supernova_soc,
 )
-from repro.hardware.area import AREA_TABLE, area_summary
-from repro.hardware.power import PowerModel
+from repro.hardware.area import (
+    AREA_TABLE,
+    area_summary,
+    comp_tile_area,
+    platform_area,
+)
+from repro.hardware.power import PowerModel, peak_watts
+from repro.hardware.spec import (
+    CompSpec,
+    HostSpec,
+    MemSpec,
+    PlatformSpec,
+    realize,
+)
+from repro.hardware.registry import (
+    make_platform,
+    platform_names,
+    platform_spec,
+    register_platform,
+)
 
 __all__ = [
     "ComputeAccelerator",
@@ -49,5 +67,17 @@ __all__ = [
     "spatula_soc",
     "AREA_TABLE",
     "area_summary",
+    "comp_tile_area",
+    "platform_area",
     "PowerModel",
+    "peak_watts",
+    "HostSpec",
+    "CompSpec",
+    "MemSpec",
+    "PlatformSpec",
+    "realize",
+    "make_platform",
+    "platform_names",
+    "platform_spec",
+    "register_platform",
 ]

@@ -383,6 +383,8 @@ class MemoryAccelerator:
     bytes_per_cycle: float = 32.0
     virtual_channels: int = 4
     setup_overhead: float = 20.0      # VC configuration + request issue
+    _pricing_key_cache: Optional[Tuple] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def op_cycles(self, op: Op) -> float:
         if not op.is_memory_op:
@@ -405,7 +407,13 @@ class MemoryAccelerator:
 
     @property
     def pricing_key(self) -> Tuple:
-        return ("MEM", self.bytes_per_cycle, self.setup_overhead)
+        """Built once and cached, like the other models (parameters are
+        treated as immutable after construction)."""
+        key = self._pricing_key_cache
+        if key is None:
+            key = self._pricing_key_cache = (
+                "MEM", self.bytes_per_cycle, self.setup_overhead)
+        return key
 
 
 @dataclass
@@ -464,6 +472,14 @@ class SoCConfig:
 
 # ----------------------------------------------------------------------
 # The seven evaluated platforms (paper Sections 5.1 and 5.4)
+#
+# These hand-written factories are the *reference* realizations: the
+# declarative registry (repro.hardware.registry) realizes the same
+# platforms from PlatformSpec data, and the gating equivalence test
+# (tests/test_registry_equivalence.py) pins both paths to equal
+# pricing_key and equal priced lane totals.  Harness code should go
+# through repro.hardware.registry.make_platform, which memoizes the
+# realization so identical requests share one model instance.
 # ----------------------------------------------------------------------
 
 def boom_cpu() -> SoCConfig:

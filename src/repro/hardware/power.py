@@ -35,6 +35,25 @@ _ACTIVITY: Dict[OpKind, float] = {
 
 _IDLE_FRACTION = 0.10  # clock tree + leakage when an op kind is idle
 
+#: Fraction of the published peak drawn by structures that scale with the
+#: systolic array (MAC mesh + scratchpad/accumulator SRAM); matches their
+#: share of the COMP tile's area in Table 5.  The remainder (control,
+#: sequencers, MEM tile) is dimension-independent.
+_ARRAY_POWER_FRACTION = 0.63
+
+
+def peak_watts(systolic_dim: int = 4) -> float:
+    """Peak power of one accelerator set, scaled from the 4x4 design.
+
+    The published 114 mW is the 4x4 array at full SYRK activity; the
+    array-proportional share grows quadratically with the mesh dimension
+    while the fixed share does not.  ``peak_watts(4)`` is exactly
+    :data:`SUPERNOVA_PEAK_W`.
+    """
+    scale = ((1.0 - _ARRAY_POWER_FRACTION)
+             + _ARRAY_POWER_FRACTION * (systolic_dim / 4.0) ** 2)
+    return SUPERNOVA_PEAK_W * scale
+
 # Columnar twin of _ACTIVITY, indexed by the trace layer's kind codes.
 _ACTIVITY_BY_CODE = np.array([_ACTIVITY.get(kind, 0.3) for kind in KINDS])
 

@@ -1,0 +1,162 @@
+"""Named platform registry: the seven evaluated platforms as specs.
+
+Every platform of the paper's evaluation (Sections 5.1/5.4) is declared
+here as a :class:`~repro.hardware.spec.PlatformSpec` — roughly ten
+declarative lines each — and realized through the memoized
+:func:`~repro.hardware.spec.realize`.  The hand-written factories in
+:mod:`repro.hardware.platforms` remain as the reference implementations;
+``tests/test_registry_equivalence.py`` (a gating CI step) pins the two
+paths to equal ``pricing_key`` and equal priced lane totals.
+
+Usage::
+
+    from repro.hardware.registry import make_platform
+
+    soc  = make_platform("SuperNoVA2S")                  # named
+    big  = make_platform("SuperNoVA8S")                  # parametric family
+    wide = make_platform("SuperNoVA2S", systolic_dim=8)  # overridden
+
+Overrides accept every :class:`PlatformSpec` field plus the COMP fields
+(``systolic_dim``, ``scratchpad_bytes``, ``has_siu``, ...); see
+:func:`repro.hardware.spec.apply_overrides`.  Registering a new platform
+is one :func:`register_platform` call with a spec (docs/architecture.md
+shows a full example).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List
+
+from repro.hardware.platforms import SoCConfig
+from repro.hardware.spec import (
+    CompSpec,
+    HostSpec,
+    MemSpec,
+    PlatformSpec,
+    apply_overrides,
+    realize,
+)
+
+ROCKET_HOST = HostSpec(
+    name="Rocket", frequency_hz=1.0e9,
+    flops_per_cycle=1.0, mem_bytes_per_cycle=8.0,
+    call_overhead=20.0, scatter_elems_per_cycle=0.5,
+    relin_cycles_per_factor=2200.0, symbolic_cycles_per_column=350.0,
+    small_matrix_penalty=6.0)
+
+
+def supernova_spec(accel_sets: int = 2) -> PlatformSpec:
+    """The SuperNoVA SoC (paper Table 3) with ``accel_sets`` sets."""
+    return PlatformSpec(
+        name=f"SuperNoVA{accel_sets}S",
+        host=ROCKET_HOST,
+        accel_sets=accel_sets,
+        cpu_tiles=accel_sets,
+        comp=CompSpec(has_siu=True),
+        mem=MemSpec(),
+    )
+
+
+def spatula_spec(accel_sets: int = 2) -> PlatformSpec:
+    """Spatula baseline: GEMM-only accelerators, no SIU, no MEM tile."""
+    return PlatformSpec(
+        name=f"Spatula{accel_sets}S",
+        host=ROCKET_HOST,
+        accel_sets=accel_sets,
+        cpu_tiles=accel_sets,
+        comp=CompSpec(has_siu=False),
+        mem=None,
+    )
+
+
+_NAMED: Dict[str, PlatformSpec] = {
+    "BOOM": PlatformSpec(
+        name="BOOM",
+        host=HostSpec(
+            name="BOOM", frequency_hz=1.0e9,
+            flops_per_cycle=2.0, mem_bytes_per_cycle=8.0,
+            call_overhead=25.0, scatter_elems_per_cycle=1.0,
+            relin_cycles_per_factor=2500.0,
+            symbolic_cycles_per_column=500.0,
+            small_matrix_penalty=4.0)),
+    "MobileCPU": PlatformSpec(
+        name="MobileCPU", frequency_hz=1.5e9,
+        host=HostSpec(
+            name="MobileCPU", frequency_hz=1.5e9,
+            flops_per_cycle=2.0, mem_bytes_per_cycle=8.0,
+            call_overhead=30.0, scatter_elems_per_cycle=1.0,
+            relin_cycles_per_factor=2600.0,
+            symbolic_cycles_per_column=520.0,
+            small_matrix_penalty=4.0)),
+    "MobileDSP": PlatformSpec(
+        name="MobileDSP", frequency_hz=1.5e9,
+        host=HostSpec(
+            name="MobileDSP", frequency_hz=1.5e9,
+            flops_per_cycle=8.0, mem_bytes_per_cycle=16.0,
+            call_overhead=40.0, scatter_elems_per_cycle=2.0,
+            relin_cycles_per_factor=2200.0,
+            symbolic_cycles_per_column=520.0,
+            small_matrix_penalty=10.0)),
+    "ServerCPU": PlatformSpec(
+        name="ServerCPU", frequency_hz=3.5e9,
+        host=HostSpec(
+            name="ServerCPU", frequency_hz=3.5e9,
+            flops_per_cycle=7.0, mem_bytes_per_cycle=24.0,
+            call_overhead=60.0, scatter_elems_per_cycle=2.5,
+            relin_cycles_per_factor=1100.0,
+            symbolic_cycles_per_column=300.0,
+            small_matrix_penalty=18.0)),
+    "EmbeddedGPU": PlatformSpec(
+        name="EmbeddedGPU", frequency_hz=0.92e9,
+        host=HostSpec(
+            name="EmbeddedGPU", frequency_hz=0.92e9,
+            flops_per_cycle=256.0, mem_bytes_per_cycle=28.0,
+            call_overhead=400.0, scatter_elems_per_cycle=8.0,
+            relin_cycles_per_factor=2400.0,
+            symbolic_cycles_per_column=600.0,
+            small_matrix_penalty=8.0,
+            kernel_launch_cycles=400.0,
+            occupancy_saturation=2048.0)),
+}
+
+#: Parametric families: ``SuperNoVA{n}S`` / ``Spatula{n}S`` resolve for
+#: any set count, so the registry covers the whole configurable axis the
+#: paper claims, not just the three evaluated points.
+_FAMILIES: Dict[str, Callable[[int], PlatformSpec]] = {
+    "SuperNoVA": supernova_spec,
+    "Spatula": spatula_spec,
+}
+_FAMILY_RE = re.compile(r"^(?P<family>[A-Za-z]+)(?P<sets>\d+)S$")
+
+
+def register_platform(spec: PlatformSpec) -> None:
+    """Add (or replace) a named platform spec in the registry."""
+    _NAMED[spec.name] = spec
+
+
+def platform_names() -> List[str]:
+    """Registered names plus the evaluated family members (sorted)."""
+    names = set(_NAMED)
+    names.update(f"{family}{n}S" for family in _FAMILIES
+                 for n in (1, 2, 4))
+    return sorted(names)
+
+
+def platform_spec(name: str, **overrides) -> PlatformSpec:
+    """Look up a named (or family-parametric) spec, with overrides."""
+    spec = _NAMED.get(name)
+    if spec is None:
+        match = _FAMILY_RE.match(name)
+        if match and match.group("family") in _FAMILIES:
+            spec = _FAMILIES[match.group("family")](
+                int(match.group("sets")))
+    if spec is None:
+        raise KeyError(
+            f"unknown platform {name!r}; known: {platform_names()}")
+    return apply_overrides(spec, **overrides)
+
+
+def make_platform(name: str, **overrides) -> SoCConfig:
+    """Realize a named platform (memoized; see :func:`realize`)."""
+    return realize(platform_spec(name, **overrides))

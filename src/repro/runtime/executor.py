@@ -19,6 +19,10 @@ from repro.runtime.scheduler import (
 )
 from repro.solvers.base import StepReport
 
+#: Cycles per candidate visited by the RA-ISAM2 selection pass; shared
+#: with the design-space autotuner so replayed totals match priced ones.
+SELECTION_CYCLES_PER_VISIT = 60.0
+
 
 @dataclass
 class StepLatency:
@@ -62,7 +66,7 @@ def execute_step(
     soc: SoCConfig,
     parents: Optional[Dict[int, Optional[int]]] = None,
     features: RuntimeFeatures = RuntimeFeatures.all(),
-    selection_cycles_per_visit: float = 60.0,
+    selection_cycles_per_visit: float = SELECTION_CYCLES_PER_VISIT,
 ) -> StepLatency:
     """Price one solver step on a platform.
 

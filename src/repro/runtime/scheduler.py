@@ -76,6 +76,28 @@ def _intra_node_rate(sets: int) -> float:
     return 1.0 + 0.75 * (sets - 1)
 
 
+class LaneCacheStats:
+    """Process-global hit/miss counters of the per-trace lane memo.
+
+    The design-space autotuner's pricing collapse (price once per
+    distinct ``pricing_key``, not once per configuration) is observable
+    here: ``reset()`` before a sweep, then ``misses`` counts actual
+    vectorized pricings and ``hits`` counts reused lane totals.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+LANE_CACHE_STATS = LaneCacheStats()
+
+
 def _ordered_sum(cycles, mask) -> float:
     """Sum ``cycles[mask]`` in trace order with left-to-right float
     accumulation — bit-identical to the scalar per-op ``+=`` loop the
@@ -105,7 +127,9 @@ def node_cycles(trace: NodeTrace, soc: SoCConfig,
     key = (soc.pricing_key, features.hetero_overlap)
     lanes = trace.lane_cache_get(key)
     if lanes is not None:
+        LANE_CACHE_STATS.hits += 1
         return lanes
+    LANE_CACHE_STATS.misses += 1
     if trace.num_ops == 0:
         lanes = (0.0, 0.0, 0.0)
         trace.lane_cache_put(key, lanes)

@@ -72,3 +72,27 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--dataset", "M3500",
                   "--platform", "tpu"])
+
+
+class TestAutotune:
+    def test_tiny_grid_sweep(self, capsys):
+        assert main(["autotune", "--dataset", "CAB1",
+                     "--dims", "4,8", "--sets", "1,2", "--tiles", "1",
+                     "--llc-kib", "4096", "--dram", "64",
+                     "--top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 configurations" in out
+        assert "Pareto front" in out
+        assert "8x8" in out
+
+    def test_budget_line_and_infeasible(self, capsys):
+        assert main(["autotune", "--dataset", "CAB1",
+                     "--dims", "4", "--sets", "1", "--tiles", "1",
+                     "--llc-kib", "4096", "--dram", "64",
+                     "--max-area-um2", "1e9"]) == 0
+        assert "best under requested budget" in capsys.readouterr().out
+        assert main(["autotune", "--dataset", "CAB1",
+                     "--dims", "4", "--sets", "1", "--tiles", "1",
+                     "--llc-kib", "4096", "--dram", "64",
+                     "--max-area-um2", "1.0"]) == 1
+        assert "no configuration satisfies" in capsys.readouterr().out

@@ -63,3 +63,62 @@ class TestTiledTriangular:
     def test_scatter_falls_back_to_analytic(self, comp):
         op = Op(OpKind.SCATTER_ADD, (12, 12))
         assert comp.op_cycles_detailed(op) == comp.op_cycles(op)
+
+
+class TestTiledModelShape:
+    """Coverage for the tiled model's structural guarantees."""
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_gemm_monotone_in_each_dim(self, comp, axis):
+        dims = [16, 16, 16]
+        previous = 0.0
+        for size in (4, 8, 16, 32, 64):
+            dims[axis] = size
+            cycles = comp.op_cycles_detailed(Op(OpKind.GEMM, tuple(dims)))
+            assert cycles >= previous, (axis, size)
+            previous = cycles
+
+    @pytest.mark.parametrize("kind,dims_small,dims_big", [
+        (OpKind.SYRK, (8, 8), (32, 32)),
+        (OpKind.TRSM, (8, 8), (32, 32)),
+        (OpKind.POTRF, (8,), (32,)),
+        (OpKind.TRSV, (8,), (32,)),
+        (OpKind.GEMV, (8, 8), (32, 32)),
+    ])
+    def test_other_kinds_monotone(self, comp, kind, dims_small, dims_big):
+        assert comp.op_cycles_detailed(Op(kind, dims_big)) > \
+            comp.op_cycles_detailed(Op(kind, dims_small))
+
+    def test_spill_activates_past_scratchpad_capacity(self):
+        comp = ComputeAccelerator()  # 32 KiB scratchpad, 4x4 tiles
+        # Working set 4 * (2 * tile * k + tile^2) bytes: fits for small
+        # k, exceeds capacity for huge k.
+        fitting = Op(OpKind.GEMM, (4, 4, 64))
+        spilling = Op(OpKind.GEMM, (4, 4, 64 * 1024))
+        per_k_fit = (comp.op_cycles_detailed(fitting)
+                     - comp.rocc_overhead) / 64
+        per_k_spill = (comp.op_cycles_detailed(spilling)
+                       - comp.rocc_overhead) / (64 * 1024)
+        # Below capacity the reload factor is exactly 1 (double
+        # buffering hides operand loads); past it, every pass stretches.
+        assert per_k_spill > 2.0 * per_k_fit
+
+    def test_spill_is_continuous_at_capacity(self):
+        comp = ComputeAccelerator()
+        # k just below / above the reload threshold: no cliff.
+        k_at = (comp.scratchpad_bytes // 4 - 16) // 8  # working == spad
+        below = comp.op_cycles_detailed(Op(OpKind.GEMM, (4, 4, k_at - 1)))
+        above = comp.op_cycles_detailed(Op(OpKind.GEMM, (4, 4, k_at + 1)))
+        assert above / below < 1.01
+
+    @pytest.mark.parametrize("n,k", [(8, 8), (16, 16), (32, 8), (64, 32)])
+    def test_syrk_cheaper_than_same_shape_gemm(self, comp, n, k):
+        syrk = comp.op_cycles_detailed(Op(OpKind.SYRK, (n, k)))
+        gemm = comp.op_cycles_detailed(Op(OpKind.GEMM, (n, n, k)))
+        assert syrk < gemm
+
+    def test_wider_array_faster_on_large_gemm(self):
+        op = Op(OpKind.GEMM, (64, 64, 64))
+        narrow = ComputeAccelerator(systolic_dim=4)
+        wide = ComputeAccelerator(systolic_dim=8)
+        assert wide.op_cycles_detailed(op) < narrow.op_cycles_detailed(op)

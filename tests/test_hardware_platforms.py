@@ -9,14 +9,18 @@ from repro.hardware import (
     PowerModel,
     area_summary,
     boom_cpu,
+    comp_tile_area,
     embedded_gpu,
     mobile_cpu,
     mobile_dsp,
+    peak_watts,
+    platform_area,
     server_cpu,
     spatula_soc,
     supernova_soc,
 )
 from repro.hardware.power import SUPERNOVA_PEAK_W
+from repro.hardware.registry import platform_spec
 from repro.linalg.trace import Op, OpKind
 
 GEMM_BIG = Op(OpKind.GEMM, (64, 64, 64))
@@ -119,6 +123,13 @@ class TestMemoryAccelerator:
         soc = supernova_soc()
         assert soc.mem.op_cycles(MEMCPY) < soc.host.op_cycles(MEMCPY)
 
+    def test_pricing_key_cached(self):
+        # Built once, then returned by identity (the runtime memoizes on
+        # it per node, so cheap repeated access matters).
+        for model in (MemoryAccelerator(), ComputeAccelerator()):
+            first = model.pricing_key
+            assert model.pricing_key is first
+
 
 class TestSoCConfigs:
     def test_supernova_has_both_accels(self):
@@ -164,6 +175,46 @@ class TestArea:
         assert ratio == pytest.approx(0.03, abs=0.005)
 
 
+class TestParametricArea:
+    def test_baseline_tile_matches_table(self):
+        # At Table 3's design point the parametric model *is* Table 5.
+        assert comp_tile_area() == AREA_TABLE["comp_tile"]
+
+    def test_mesh_scales_quadratically(self):
+        grown = comp_tile_area(systolic_dim=8) - comp_tile_area()
+        assert grown == pytest.approx(3 * AREA_TABLE["comp_mesh"])
+
+    def test_scratchpad_scales_linearly(self):
+        grown = comp_tile_area(scratchpad_bytes=64 * 1024) \
+            - comp_tile_area()
+        assert grown == pytest.approx(
+            AREA_TABLE["comp_scratchpad_accumulator"])
+
+    def test_no_siu_subtracts_unit(self):
+        assert comp_tile_area() - comp_tile_area(has_siu=False) == \
+            AREA_TABLE["comp_sparse_index_unit"]
+
+    def test_platform_area_matches_summary(self):
+        for sets in (1, 2, 4):
+            spec = platform_spec(f"SuperNoVA{sets}S")
+            summary = area_summary(accel_sets=sets, cpu_tiles=sets)
+            assert platform_area(spec) == summary["total_um2"]
+
+    def test_boom_platform_uses_baseline(self):
+        assert platform_area(platform_spec("BOOM")) == \
+            AREA_TABLE["boom_baseline"]
+
+    def test_cpu_platform_without_table_entry_raises(self):
+        with pytest.raises(ValueError):
+            platform_area(platform_spec("ServerCPU"))
+
+    def test_spatula_drops_mem_tile_and_siu(self):
+        nova = platform_area(platform_spec("SuperNoVA1S"))
+        spatula = platform_area(platform_spec("Spatula1S"))
+        assert nova - spatula == pytest.approx(
+            AREA_TABLE["mem_tile"] + AREA_TABLE["comp_sparse_index_unit"])
+
+
 class TestPower:
     def test_peak_is_syrk(self):
         model = PowerModel()
@@ -194,3 +245,17 @@ class TestPower:
         model = PowerModel()
         assert (model.op_power(Op(OpKind.MEMSET, (1024,)))
                 < model.op_power(Op(OpKind.GEMM, (8, 8, 8))))
+
+    def test_peak_watts_pins_table_at_base_dim(self):
+        # The parametric curve passes exactly through the published
+        # 4x4-array peak.
+        assert peak_watts(4) == SUPERNOVA_PEAK_W
+
+    def test_peak_watts_array_fraction_scales_quadratically(self):
+        # Static (non-array) power is the dim-independent floor.
+        static = peak_watts(4) - (peak_watts(8) - peak_watts(4)) / 3.0
+        assert static > 0.0
+        for dim in (2, 8, 16):
+            array = (peak_watts(dim) - static)
+            assert array == pytest.approx(
+                (peak_watts(4) - static) * (dim / 4.0) ** 2)

@@ -1,0 +1,129 @@
+"""Gating equivalence: declarative registry vs hand-written factories.
+
+Every named platform must realize to a model that is *pricing-identical*
+to the legacy factory in :mod:`repro.hardware.platforms` — same
+``pricing_key`` (the full parameter summary the runtime memoizes on),
+same SoC wiring, and bit-identical per-op lane totals on a real trace.
+This is what keeps every committed ``benchmarks/results/*.txt`` file
+byte-reproducible after the factories were rebased onto the registry.
+"""
+
+import pytest
+
+from repro.hardware.platforms import (
+    boom_cpu,
+    embedded_gpu,
+    mobile_cpu,
+    mobile_dsp,
+    server_cpu,
+    spatula_soc,
+    supernova_soc,
+)
+from repro.hardware.registry import (
+    make_platform,
+    platform_names,
+    platform_spec,
+    register_platform,
+)
+from repro.hardware.spec import realize
+from repro.linalg.trace import NodeTrace, OpKind
+
+LEGACY = {
+    "BOOM": boom_cpu,
+    "MobileCPU": mobile_cpu,
+    "MobileDSP": mobile_dsp,
+    "ServerCPU": server_cpu,
+    "EmbeddedGPU": embedded_gpu,
+    "SuperNoVA1S": lambda: supernova_soc(1),
+    "SuperNoVA2S": lambda: supernova_soc(2),
+    "SuperNoVA4S": lambda: supernova_soc(4),
+    "Spatula1S": lambda: spatula_soc(1),
+    "Spatula2S": lambda: spatula_soc(2),
+    "Spatula4S": lambda: spatula_soc(4),
+}
+
+
+def sample_trace() -> NodeTrace:
+    trace = NodeTrace(node_id=0, cols=8, rows_below=24)
+    trace.record(OpKind.MEMSET, 2048)
+    trace.record(OpKind.GEMM, 24, 8, 8)
+    trace.record(OpKind.SYRK, 24, 8)
+    trace.record(OpKind.POTRF, 8)
+    trace.record(OpKind.TRSM, 24, 8)
+    trace.record(OpKind.SCATTER_ADD, 24, 8)
+    trace.record(OpKind.MEMCPY, 1536)
+    trace.record(OpKind.GEMV, 24, 8)
+    trace.record(OpKind.TRSV, 8)
+    return trace
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY))
+class TestRegistryMatchesFactory:
+    def test_pricing_key_identical(self, name):
+        assert make_platform(name).pricing_key == \
+            LEGACY[name]().pricing_key
+
+    def test_soc_wiring_identical(self, name):
+        reg, legacy = make_platform(name), LEGACY[name]()
+        assert reg.name == legacy.name
+        assert reg.accel_sets == legacy.accel_sets
+        assert reg.cpu_tiles == legacy.cpu_tiles
+        assert reg.llc_bytes == legacy.llc_bytes
+        assert reg.dram_bytes_per_cycle == legacy.dram_bytes_per_cycle
+        assert reg.frequency_hz == legacy.frequency_hz
+        assert type(reg.host) is type(legacy.host)
+        assert (reg.comp is None) == (legacy.comp is None)
+        assert (reg.mem is None) == (legacy.mem is None)
+
+    def test_lane_totals_bit_identical(self, name):
+        reg, legacy = make_platform(name), LEGACY[name]()
+        trace = sample_trace()
+        models = [(reg.host, legacy.host)]
+        if reg.comp is not None:
+            models.append((reg.comp, legacy.comp))
+        if reg.mem is not None:
+            models.append((reg.mem, legacy.mem))
+        for reg_model, legacy_model in models:
+            a = reg_model.price_ops(trace)
+            b = legacy_model.price_ops(trace)
+            assert (a == b).all(), type(reg_model).__name__
+
+
+class TestRegistryBehaviour:
+    def test_all_evaluated_platforms_listed(self):
+        names = platform_names()
+        for name in LEGACY:
+            assert name in names
+
+    def test_realization_memoized(self):
+        assert make_platform("SuperNoVA2S") is make_platform("SuperNoVA2S")
+        spec = platform_spec("SuperNoVA2S")
+        assert realize(spec) is make_platform("SuperNoVA2S")
+
+    def test_override_breaks_sharing(self):
+        base = make_platform("SuperNoVA2S")
+        wide = make_platform("SuperNoVA2S", systolic_dim=8)
+        assert wide is not base
+        assert wide.comp.systolic_dim == 8
+        assert wide.pricing_key != base.pricing_key
+
+    def test_family_sets_parse(self):
+        assert make_platform("SuperNoVA3S").accel_sets == 3
+        assert make_platform("Spatula1S").accel_sets == 1
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            platform_spec("TPUv4")
+
+    def test_register_new_platform(self):
+        from dataclasses import replace
+        spec = replace(platform_spec("SuperNoVA2S"), name="TestBigLLC",
+                       llc_bytes=8 * 1024 * 1024)
+        register_platform(spec)
+        try:
+            assert make_platform("TestBigLLC").llc_bytes == \
+                8 * 1024 * 1024
+            assert "TestBigLLC" in platform_names()
+        finally:
+            from repro.hardware import registry
+            registry._NAMED.pop("TestBigLLC", None)

@@ -1,0 +1,68 @@
+"""Contract: ``supports_mask`` excludes exactly the rows where the
+scalar ``op_cycles`` raises.
+
+The scheduler's vectorized lane pricing trusts ``supports_mask`` /
+``price_ops`` to zero out unsupported rows; the scalar ``op_cycles``
+path raises on the same ops.  If the two ever disagree, an op would be
+silently priced at 0.0 cycles on a lane that cannot execute it (or a
+legal op would crash the scalar path).  This test pins the agreement for
+every accelerator variant x every op kind.
+"""
+
+import pytest
+
+from repro.hardware.platforms import ComputeAccelerator, MemoryAccelerator
+from repro.linalg.trace import NodeTrace, Op, OpKind
+
+#: One representative op per kind (dims per the OpKind docstrings).
+REPRESENTATIVE_OPS = {
+    OpKind.GEMM: Op(OpKind.GEMM, (16, 12, 8)),
+    OpKind.SYRK: Op(OpKind.SYRK, (16, 8)),
+    OpKind.TRSM: Op(OpKind.TRSM, (16, 8)),
+    OpKind.POTRF: Op(OpKind.POTRF, (8,)),
+    OpKind.TRSV: Op(OpKind.TRSV, (8,)),
+    OpKind.GEMV: Op(OpKind.GEMV, (16, 8)),
+    OpKind.SCATTER_ADD: Op(OpKind.SCATTER_ADD, (16, 8)),
+    OpKind.MEMSET: Op(OpKind.MEMSET, (2048,)),
+    OpKind.MEMCPY: Op(OpKind.MEMCPY, (2048,)),
+}
+
+ACCELERATORS = {
+    "comp_siu": ComputeAccelerator(has_siu=True),
+    "comp_no_siu": ComputeAccelerator(has_siu=False),
+    "mem": MemoryAccelerator(),
+}
+
+
+def one_op_trace(op: Op) -> NodeTrace:
+    trace = NodeTrace(node_id=0, cols=8, rows_below=16)
+    trace.record(op.kind, *op.dims)
+    return trace
+
+
+@pytest.mark.parametrize("kind", list(OpKind), ids=lambda k: k.value)
+@pytest.mark.parametrize("accel_name", sorted(ACCELERATORS))
+class TestSupportsContract:
+    def test_scalar_supports_matches_op_cycles(self, accel_name, kind):
+        accel = ACCELERATORS[accel_name]
+        op = REPRESENTATIVE_OPS[kind]
+        if accel.supports(op):
+            assert accel.op_cycles(op) > 0.0
+        else:
+            with pytest.raises(ValueError):
+                accel.op_cycles(op)
+
+    def test_mask_matches_scalar_supports(self, accel_name, kind):
+        accel = ACCELERATORS[accel_name]
+        op = REPRESENTATIVE_OPS[kind]
+        mask = accel.supports_mask(one_op_trace(op))
+        assert mask.tolist() == [accel.supports(op)]
+
+    def test_price_ops_zero_iff_unsupported(self, accel_name, kind):
+        accel = ACCELERATORS[accel_name]
+        op = REPRESENTATIVE_OPS[kind]
+        priced = float(accel.price_ops(one_op_trace(op))[0])
+        if accel.supports(op):
+            assert priced == accel.op_cycles(op)
+        else:
+            assert priced == 0.0
