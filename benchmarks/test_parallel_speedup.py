@@ -1,0 +1,134 @@
+"""Microbenchmark: level-scheduled parallel factorize vs serial.
+
+Builds a deliberately bushy elimination tree — ``CHAINS`` independent
+odometry chains with fat (``DIM``-dimensional) blocks, CCOLAMD-ordered —
+so every level of the tree holds one front per chain and the frontal
+kernels are large enough for numpy/LAPACK to release the GIL.  Then
+times repeated numeric refactorizations (the plan cache is warmed first,
+so only the numeric phase differs) with 1 worker vs ``WORKERS`` workers
+through the identical ``MultifrontalCholesky`` code path.
+
+Bit-identity between the two configurations is asserted **before** any
+timing and always runs; the wall-clock floor is only enforced on hosts
+with at least ``WORKERS`` cores (the speedup is meaningless on fewer —
+the level scheduler still dispatches, but the pool is time-sliced).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.linalg import MultifrontalCholesky, SymbolicFactorization, \
+    make_ordering_policy
+from repro.linalg.cholesky import FactorContribution
+from repro.linalg.trace import OpTrace
+
+CHAINS = 8
+LENGTH = 8
+DIM = 48
+WORKERS = 4
+REPEATS = 5
+ITERATIONS = 3
+MIN_SPEEDUP = 2.0
+
+
+def bushy_problem():
+    """CHAINS independent chains of LENGTH poses with DIM-dim blocks."""
+    keys = list(range(CHAINS * LENGTH))
+    dims = {key: DIM for key in keys}
+    factor_keys = []
+    for chain in range(CHAINS):
+        base = chain * LENGTH
+        factor_keys.append((base,))                       # prior
+        for i in range(LENGTH - 1):
+            factor_keys.append((base + i, base + i + 1))  # odometry
+    order = make_ordering_policy("constrained_colamd").order(
+        keys, factor_keys)
+    position_of = {key: p for p, key in enumerate(order)}
+    symbolic = SymbolicFactorization.from_ordering(order, dims, factor_keys)
+
+    rng = np.random.default_rng(42)
+    contributions = []
+    for fk in factor_keys:
+        width = DIM * len(fk)
+        jac = rng.standard_normal((width + DIM, width))
+        rhs = rng.standard_normal(width + DIM)
+        contributions.append(FactorContribution(
+            sorted(position_of[key] for key in fk),
+            jac.T @ jac, jac.T @ rhs, residual_dim=width + DIM))
+    return symbolic, contributions
+
+
+def _factorize_seconds(solver, contributions):
+    start = time.perf_counter()
+    solver.factorize(contributions)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_factorize_speedup(once, save_result):
+    symbolic, contributions = bushy_problem()
+
+    serial = MultifrontalCholesky(symbolic, workers=1)
+    parallel = MultifrontalCholesky(symbolic, workers=WORKERS)
+
+    # Bit-identity gate (always runs, independent of core count):
+    # factors, solution, and op traces must match the serial path byte
+    # for byte, and the parallel run must actually dispatch fronts.
+    t1, tw = OpTrace(), OpTrace()
+    serial.factorize(contributions, trace=t1)
+    parallel.factorize(contributions, trace=tw)
+    for sid in range(len(symbolic.supernodes)):
+        assert serial._l_a[sid].tobytes() == parallel._l_a[sid].tobytes()
+        assert serial._l_b[sid].tobytes() == parallel._l_b[sid].tobytes()
+    x1 = serial.solve()
+    xw = parallel.solve()
+    for a, b in zip(x1, xw):
+        assert a.tobytes() == b.tobytes()
+    assert list(t1.nodes.keys()) == list(tw.nodes.keys())
+    for sid in t1.nodes:
+        assert (t1.nodes[sid].kind_codes().tobytes()
+                == tw.nodes[sid].kind_codes().tobytes())
+        assert (t1.nodes[sid].dims_matrix().tobytes()
+                == tw.nodes[sid].dims_matrix().tobytes())
+    assert parallel.level_stats.nodes > 0, "no fronts dispatched"
+    levels = parallel.level_stats.levels
+
+    cores = os.cpu_count() or 1
+    if cores < WORKERS:
+        pytest.skip(f"speedup floor needs >= {WORKERS} cores, have {cores}"
+                    " (bit-identity asserted above)")
+
+    # Plans are warm from the identity runs: both paths now time the
+    # numeric phase only, interleaved so drift hits them equally.
+    best = [float("inf"), float("inf")]
+
+    def measure():
+        for _ in range(REPEATS):
+            for i, solver in enumerate((serial, parallel)):
+                total = 0.0
+                for _ in range(ITERATIONS):
+                    total += _factorize_seconds(solver, contributions)
+                best[i] = min(best[i], total)
+        return best
+
+    serial_seconds, parallel_seconds = once(measure)
+    speedup = serial_seconds / parallel_seconds
+
+    lines = [
+        "level-scheduled parallel factorize microbenchmark "
+        f"({CHAINS} chains x {LENGTH} poses, block dim {DIM}, "
+        f"{len(symbolic.supernodes)} supernodes, "
+        f"{levels} levels, CCOLAMD order)",
+        f"serial (1 worker):      "
+        f"{1e3 * serial_seconds / ITERATIONS:9.2f} ms/factorize",
+        f"parallel ({WORKERS} workers):   "
+        f"{1e3 * parallel_seconds / ITERATIONS:9.2f} ms/factorize",
+        f"speedup: {speedup:.2f}x (floor {MIN_SPEEDUP}x, "
+        f"{cores} cores)",
+    ]
+    save_result("parallel_speedup", "\n".join(lines))
+    assert speedup >= MIN_SPEEDUP, (
+        f"parallel factorize only {speedup:.2f}x faster")

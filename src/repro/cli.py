@@ -109,12 +109,14 @@ def cmd_solve(args) -> int:
 
     if args.solver == "gn":
         result = GaussNewton(max_iterations=args.iterations,
-                             ordering=args.ordering) \
+                             ordering=args.ordering,
+                             workers=args.workers) \
             .optimize(graph, values)
         solved, error = result.values, result.final_error
     elif args.solver == "lm":
         result = LevenbergMarquardt(max_iterations=args.iterations,
-                                    ordering=args.ordering) \
+                                    ordering=args.ordering,
+                                    workers=args.workers) \
             .optimize(graph, values)
         solved, error = result.values, result.final_error
     else:  # isam2: feed variables in key order
@@ -123,7 +125,8 @@ def cmd_solve(args) -> int:
                   f"{'/'.join(IncrementalEngine.ORDERINGS)}, "
                   f"not {args.ordering!r}", file=sys.stderr)
             return 2
-        solver = ISAM2(relin_threshold=0.01, ordering=args.ordering)
+        solver = ISAM2(relin_threshold=0.01, ordering=args.ordering,
+                       workers=args.workers)
         pending = {index: graph.factor(index)
                    for index in graph.factor_indices()}
         added = set()
@@ -150,9 +153,10 @@ def cmd_simulate(args) -> int:
     target = args.target_ms * 1e-3
     if soc.has_accelerators:
         solver = RAISAM2(NodeCostModel(soc), target_seconds=target,
-                         ordering=args.ordering)
+                         ordering=args.ordering, workers=args.workers)
     else:
-        solver = ISAM2(relin_threshold=0.05, ordering=args.ordering)
+        solver = ISAM2(relin_threshold=0.05, ordering=args.ordering,
+                       workers=args.workers)
     run = run_online(solver, data, soc=soc, collect_errors=False)
     stats = latency_stats(run.latency_seconds(), target)
     print(f"{data.describe()} on {soc.name}")
@@ -166,6 +170,14 @@ def cmd_simulate(args) -> int:
     rate = 100.0 * hits / total if total else 0.0
     print(f"step plans: {int(hits)} hits, {int(compiles)} compiles "
           f"({rate:.1f}% reused)")
+    par_nodes = sum(r.extras.get("parallel_nodes", 0.0)
+                    for r in run.reports)
+    if par_nodes:
+        task = sum(r.extras.get("wall_speedup", 1.0) > 1.0
+                   for r in run.reports)
+        best = max(r.extras.get("wall_speedup", 1.0) for r in run.reports)
+        print(f"parallel execution: {int(par_nodes)} fronts dispatched, "
+              f"{task} steps overlapped, best wall speedup {best:.2f}x")
     last = run.reports[-1] if run.reports else None
     if last is not None and "tree_height" in last.extras:
         print(f"elimination tree ({args.ordering}): "
@@ -245,6 +257,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="chronological",
                        help="elimination ordering policy (isam2 supports "
                             "chronological/constrained_colamd)")
+    solve.add_argument("--workers", type=int, default=None,
+                       help="thread-pool size for parallel factorization "
+                            "(bit-identical to serial; 0 = one per CPU, "
+                            "default reads REPRO_WORKERS)")
     solve.add_argument("--out", dest="output")
     solve.set_defaults(func=cmd_solve)
 
@@ -260,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=IncrementalEngine.ORDERINGS,
                      default="chronological",
                      help="incremental elimination ordering policy")
+    sim.add_argument("--workers", type=int, default=None,
+                     help="thread-pool size for parallel numeric "
+                          "execution (bit-identical to serial; 0 = one "
+                          "per CPU, default reads REPRO_WORKERS)")
     sim.set_defaults(func=cmd_simulate)
 
     tune = sub.add_parser(

@@ -67,7 +67,8 @@ class RAISAM2:
                  selection_policy: str = "relevance",
                  selection_seed: int = 0,
                  ordering: str = "chronological",
-                 reorder_interval: int = 25):
+                 reorder_interval: int = 25,
+                 workers: Optional[int] = None):
         if selection_policy not in ("relevance", "fifo", "random"):
             raise ValueError(f"unknown policy {selection_policy!r}")
         self.cost_model = cost_model
@@ -81,7 +82,8 @@ class RAISAM2:
         self.engine = IncrementalEngine(
             max_supernode_vars=max_supernode_vars,
             wildfire_tol=wildfire_tol, damping=damping,
-            ordering=ordering, reorder_interval=reorder_interval)
+            ordering=ordering, reorder_interval=reorder_interval,
+            workers=workers)
         self._step = -1
 
     def _estimate_energy(self, seconds: float) -> float:

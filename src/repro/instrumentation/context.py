@@ -38,13 +38,23 @@ class StepContext:
         recompiled one.
     ``refactor_seconds``
         Wall time spent in the plan/execute refactorize phase.
+    ``parallel_nodes`` / ``parallel_levels``
+        Supernode fronts dispatched to the shared thread pool this step
+        and the number of multi-node dependency levels they spanned
+        (zero on the serial path; see :mod:`repro.linalg.parallel`).
+    ``parallel_task_seconds`` / ``parallel_wall_seconds``
+        Summed per-task wall time vs. elapsed time of the dispatched
+        levels; their ratio is the achieved concurrency reported as the
+        ``wall_speedup`` extra.
     """
 
     __slots__ = ("trace", "step", "is_last", "relin_variables",
                  "relin_factors", "symbolic", "numeric", "backsub",
                  "lin_seconds", "lin_batched", "lin_fallback",
                  "plan_hits", "plan_misses", "plan_compiles",
-                 "refactor_seconds", "extras")
+                 "refactor_seconds", "parallel_nodes", "parallel_levels",
+                 "parallel_task_seconds", "parallel_wall_seconds",
+                 "extras")
 
     def __init__(self, trace: Optional[OpTrace] = None, step: int = 0,
                  is_last: bool = False):
@@ -63,6 +73,10 @@ class StepContext:
         self.plan_misses = 0
         self.plan_compiles = 0
         self.refactor_seconds = 0.0
+        self.parallel_nodes = 0
+        self.parallel_levels = 0
+        self.parallel_task_seconds = 0.0
+        self.parallel_wall_seconds = 0.0
         self.extras: Dict[str, float] = {}
 
     @property
@@ -93,6 +107,12 @@ class StepContext:
         extras.setdefault("plan_misses", float(self.plan_misses))
         extras.setdefault("plan_compiles", float(self.plan_compiles))
         extras.setdefault("refactor_seconds", float(self.refactor_seconds))
+        extras.setdefault("parallel_nodes", float(self.parallel_nodes))
+        extras.setdefault("parallel_levels", float(self.parallel_levels))
+        extras.setdefault(
+            "wall_speedup",
+            float(self.parallel_task_seconds / self.parallel_wall_seconds)
+            if self.parallel_wall_seconds > 0.0 else 1.0)
         return StepReport(
             step=step,
             relinearized_variables=self.relin_variables,

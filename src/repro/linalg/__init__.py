@@ -30,6 +30,13 @@ from repro.linalg.ordering import (
 from repro.linalg.symbolic import SymbolicFactorization, Supernode
 from repro.linalg.cholesky import MultifrontalCholesky
 from repro.linalg.marginals import marginal_covariance, marginal_covariances
+from repro.linalg.parallel import (
+    LevelStats,
+    ParallelStepExecutor,
+    default_workers,
+    levels_from_parents,
+    resolve_workers,
+)
 from repro.linalg.plan import (
     NodePlan,
     PlanCache,
@@ -58,6 +65,11 @@ __all__ = [
     "SymbolicFactorization",
     "Supernode",
     "MultifrontalCholesky",
+    "LevelStats",
+    "ParallelStepExecutor",
+    "default_workers",
+    "levels_from_parents",
+    "resolve_workers",
     "NodePlan",
     "PlanCache",
     "StepExecutor",

@@ -21,9 +21,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.linalg.frontal import gather_indices
+from repro.linalg.parallel import (
+    LevelStats,
+    ParallelStepExecutor,
+    levels_from_parents,
+)
 from repro.linalg.plan import (
     PlanCache,
-    StepExecutor,
     compile_node_plan,
     node_signature,
     plans_equal,
@@ -80,10 +84,15 @@ class MultifrontalCholesky:
         The symbolic analysis (structure, supernodes, tree).
     damping:
         Optional Levenberg-style diagonal damping added to H.
+    workers:
+        Thread-pool size for level-scheduled parallel factorize/solve
+        (bit-identical to serial; see :mod:`repro.linalg.parallel`).
+        ``None`` reads ``REPRO_WORKERS`` (default 1 = serial).
     """
 
     def __init__(self, symbolic: SymbolicFactorization, damping: float = 0.0,
-                 plan_cache: Optional[PlanCache] = None):
+                 plan_cache: Optional[PlanCache] = None,
+                 workers: Optional[int] = None):
         self.symbolic = symbolic
         self.damping = float(damping)
         dims = symbolic.dims
@@ -114,7 +123,14 @@ class MultifrontalCholesky:
         # Plans compile lazily at the first factorize; sharing a cache
         # across solver instances (same symbolic) shares the compiles.
         self._plans = plan_cache if plan_cache is not None else PlanCache()
-        self._executor = StepExecutor()
+        self._executor = ParallelStepExecutor(workers)
+        self.workers = self._executor.workers
+        self._parents = {
+            sid: (node.parent if node.parent != -1 else None)
+            for sid, node in enumerate(symbolic.supernodes)}
+        #: Dispatch statistics accumulated across parallel factorizations
+        #: (see :class:`repro.linalg.parallel.LevelStats`).
+        self.level_stats = LevelStats()
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -154,8 +170,13 @@ class MultifrontalCholesky:
 
         aud = current_auditor()
         executor = self._executor
+        order = symbolic.node_order()
+        if executor.workers > 1 and len(order) > 1:
+            self._factorize_parallel(order, node_factors, contributions,
+                                     aud, trace)
+            return
         updates: Dict[int, np.ndarray] = {}
-        for sid in symbolic.node_order():
+        for sid in order:
             node = symbolic.supernodes[sid]
             assigned = node_factors.get(sid, ())
             plan = self._plan_for(sid, node, assigned, contributions, aud)
@@ -170,6 +191,51 @@ class MultifrontalCholesky:
             self._l_b[sid] = l_b
             if node.parent != -1:
                 updates[sid] = c_update
+
+    def _factorize_parallel(self, order, node_factors, contributions,
+                            aud, trace) -> None:
+        """Level-scheduled twin of the serial factorize loop.
+
+        Plan resolution and trace-node creation run serially in
+        ``node_order()`` first (so plan-cache traffic and trace insertion
+        order match the serial path), then each dependency level's pure
+        ``factorize_node`` calls — whose child updates are gathered on
+        the main thread in the node's child order — fan out onto the
+        shared pool.  Bit-identical to serial: the per-front kernel sees
+        exactly the serial inputs in the serial reduction order.
+        """
+        symbolic = self.symbolic
+        executor = self._executor
+        plans: Dict[int, tuple] = {}
+        traces: Dict[int, object] = {}
+        for sid in order:
+            node = symbolic.supernodes[sid]
+            assigned = node_factors.get(sid, ())
+            plans[sid] = (self._plan_for(sid, node, assigned,
+                                         contributions, aud), assigned)
+            plan = plans[sid][0]
+            traces[sid] = (trace.node(sid, cols=plan.m,
+                                      rows_below=plan.front_size - plan.m)
+                           if trace is not None else None)
+        updates: Dict[int, np.ndarray] = {}
+        for level in levels_from_parents(order, self._parents):
+            tasks = []
+            for sid in level:
+                node = symbolic.supernodes[sid]
+                plan, assigned = plans[sid]
+                hessians = [contributions[ci].hessian for ci in assigned]
+                child_updates = [updates.pop(child)
+                                 for child in node.children]
+                tasks.append(
+                    lambda p=plan, h=hessians, c=child_updates,
+                    t=traces[sid]:
+                    executor.factorize_node(p, h, c, self.damping, t))
+            results = executor.run_level(tasks, self.level_stats)
+            for sid, (l_a, l_b, c_update) in zip(level, results):
+                self._l_a[sid] = l_a
+                self._l_b[sid] = l_b
+                if symbolic.supernodes[sid].parent != -1:
+                    updates[sid] = c_update
 
     def _plan_for(self, sid: int, node, assigned: Sequence[int],
                   contributions: Sequence[FactorContribution], aud):
@@ -238,7 +304,8 @@ class MultifrontalCholesky:
              self._row_idx[sid]
              if symbolic.supernodes[sid].row_pattern else None)
             for sid in symbolic.node_order()]
-        x_flat = tree_solve(entries, rhs_flat, self._total, trace)
+        x_flat = tree_solve(entries, rhs_flat, self._total, trace,
+                            workers=self.workers, parents=self._parents)
         return [x_flat[off[p]:off[p + 1]] for p in range(symbolic.n)]
 
     def dense_l(self) -> np.ndarray:

@@ -1,0 +1,301 @@
+"""Level-scheduled parallel numeric execution over the elimination tree.
+
+The paper's Fig. 3 attributes most backend numeric time to POTRF / TRSM /
+SYRK on *independent* elimination-tree fronts, and the constrained-COLAMD
+ordering produces the bushy trees (many nodes per depth level) that make
+inter-node parallelism real.  This module adds the software analogue of
+the runtime's inter-node scheduling to the plan/execute split: a
+list-scheduler that buckets supernodes into dependency *levels* (all
+children strictly below their parent) and dispatches each level's
+independent fronts onto a shared :class:`ThreadPoolExecutor`.  Python
+threads suffice because numpy/LAPACK release the GIL inside the dense
+kernels that dominate (``cholesky``/``trtrs``/matmul), so large fronts
+genuinely overlap.
+
+Bit-identity contract
+---------------------
+Every parallel mode built on this module is bit-identical to its serial
+path (atol 0 on deltas, factors and traces).  Three rules make that hold:
+
+* **Deterministic reduction order.**  Each node's inputs (children's
+  ``C_update`` matrices, factor Hessians) are gathered *on the main
+  thread in plan assembly order* before dispatch; workers only run the
+  pure per-front kernel.  Nothing is ever reduced in completion order.
+* **Serial float-accumulation phases stay serial.**  Accumulations whose
+  order spans subtrees — the engine's rhs/carry scatter in head order,
+  the forward sweep's ``carry`` — are either executed serially after the
+  level barrier or rebuilt per level in entries order, reproducing the
+  serial left-to-right add order per cell exactly.
+* **Canonical trace order.**  Per-node traces are pre-created (or
+  merged) on the main thread in the serial path's node order, so
+  ``OpTrace`` insertion order — which feeds the left-to-right float sum
+  in ``sequential_cycles`` — is byte-identical.
+
+``workers`` resolution: ``None`` reads ``REPRO_WORKERS`` (default 1 =
+serial), ``<= 0`` means one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.frontal import solve_lower_triangular
+from repro.linalg.plan import StepExecutor
+from repro.linalg.trace import OpKind, OpTrace
+
+
+def default_workers() -> int:
+    """Worker count from the ``REPRO_WORKERS`` environment variable.
+
+    Lets CI (or a user) flip every solver into parallel mode without
+    touching call sites; unset or empty means 1 (serial).
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return 1
+    return resolve_workers(int(raw))
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` argument: None -> env default, <=0 -> #CPUs."""
+    if workers is None:
+        return default_workers()
+    workers = int(workers)
+    if workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+_POOL_LOCK = threading.Lock()
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_SIZE = 0
+
+
+def shared_pool(workers: int) -> ThreadPoolExecutor:
+    """The process-wide worker pool, grown on demand and never shrunk.
+
+    One pool is shared by every solver instance so nested construction
+    (e.g. LM's per-lambda solvers) cannot multiply idle threads.  Pools
+    are only used between level barriers on the main thread, so swapping
+    in a larger one is safe.
+    """
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE < workers:
+            old = _POOL
+            _POOL = ThreadPoolExecutor(max_workers=workers,
+                                       thread_name_prefix="repro-front")
+            _POOL_SIZE = workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return _POOL
+
+
+def levels_from_parents(ordered_ids: Sequence[int],
+                        parents: Dict[int, Optional[int]],
+                        ) -> List[List[int]]:
+    """Bucket nodes into bottom-up dependency levels.
+
+    ``ordered_ids`` must list children before parents (every caller's
+    node order already is: head-ascending fresh nodes, ``node_order()``
+    sids, bottom-up solve entries).  ``parents`` maps id -> parent id;
+    None or an id outside the set marks a root.  Level 0 holds leaves,
+    and ``level(node) = 1 + max(level(children))``, so nodes within one
+    level are mutually independent.  Each level preserves the input
+    order — the deterministic order every dispatch and reduction uses.
+    """
+    id_set = set(ordered_ids)
+    level: Dict[int, int] = {}
+    pending: Dict[int, int] = {}
+    for nid in ordered_ids:
+        lvl = pending.pop(nid, 0)
+        level[nid] = lvl
+        parent = parents.get(nid)
+        if parent is not None and parent in id_set:
+            if lvl >= pending.get(parent, 0):
+                pending[parent] = lvl + 1
+    if not level:
+        return []
+    levels: List[List[int]] = [[] for _ in range(max(level.values()) + 1)]
+    for nid in ordered_ids:
+        levels[level[nid]].append(nid)
+    return levels
+
+
+class LevelStats:
+    """Accumulated dispatch statistics of one step's parallel phases.
+
+    ``nodes``/``levels`` count fronts actually dispatched to the pool
+    (levels of width 1 run inline and don't count); ``task_seconds`` is
+    the summed per-task wall time and ``wall_seconds`` the elapsed time
+    of the dispatched levels, so ``task_seconds / wall_seconds`` is the
+    achieved concurrency (the ``wall_speedup`` report extra).
+    """
+
+    __slots__ = ("nodes", "levels", "task_seconds", "wall_seconds")
+
+    def __init__(self) -> None:
+        self.nodes = 0
+        self.levels = 0
+        self.task_seconds = 0.0
+        self.wall_seconds = 0.0
+
+
+class ParallelStepExecutor(StepExecutor):
+    """A :class:`StepExecutor` that can fan independent fronts out onto
+    the shared thread pool.
+
+    The per-node kernels (``factorize_node`` / ``forward_update`` /
+    ``backsolve_node``) are inherited unchanged — parallelism lives
+    entirely in *which* calls run concurrently, decided by the callers'
+    level schedules, so ``workers=1`` degenerates to the serial
+    executor with zero overhead.
+    """
+
+    __slots__ = ("workers",)
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = resolve_workers(workers)
+
+    def run_level(self, tasks: Sequence[Callable[[], object]],
+                  stats: Optional[LevelStats] = None) -> List[object]:
+        """Run one dependency level's tasks; barrier before returning.
+
+        Results come back in submission order.  A raising task
+        propagates the earliest exception in submission order — after
+        every task of the level has finished, so no worker ever races a
+        caller's post-barrier reduction.  Levels of width <= 1 (or a
+        serial executor) run inline.
+        """
+        if self.workers <= 1 or len(tasks) <= 1:
+            return [task() for task in tasks]
+        pool = shared_pool(self.workers)
+        start = time.perf_counter()
+        futures = [pool.submit(_timed_call, task) for task in tasks]
+        results: List[object] = []
+        task_seconds = 0.0
+        error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                out, seconds = future.result()
+            except BaseException as exc:
+                if error is None:
+                    error = exc
+            else:
+                results.append(out)
+                task_seconds += seconds
+        if error is not None:
+            raise error
+        if stats is not None:
+            stats.nodes += len(tasks)
+            stats.levels += 1
+            stats.task_seconds += task_seconds
+            stats.wall_seconds += time.perf_counter() - start
+        return results
+
+
+def _timed_call(task: Callable[[], object]) -> Tuple[object, float]:
+    start = time.perf_counter()
+    out = task()
+    return out, time.perf_counter() - start
+
+
+def parallel_tree_solve(
+    entries: Sequence[tuple],
+    rhs_flat: np.ndarray,
+    total: int,
+    trace: Optional[OpTrace],
+    executor: ParallelStepExecutor,
+    parents: Dict[int, Optional[int]],
+    stats: Optional[LevelStats] = None,
+) -> np.ndarray:
+    """Level-scheduled twin of :func:`repro.linalg.plan.tree_solve`.
+
+    Bit-identical to the serial sweeps:
+
+    * Forward: the ``carry`` vector is rebuilt before each level by
+      re-applying every completed node's spread *in entries order*, so
+      each cell accumulates its descendants' contributions in exactly
+      the serial left-to-right order (level-major application would
+      invert cross-subtree add order and drift in the last ulp).
+    * Backward: levels run top-down; a node only reads its ancestors'
+      finished ``x`` slices and writes its own disjoint slice, so the
+      sweep is naturally exact under the level barrier.
+    * Traces: per-node traces are pre-created in entries order (the
+      serial creation order) and each node is recorded by exactly one
+      task per sweep.
+    """
+    order = [entry[0] for entry in entries]
+    index_of = {sid: i for i, sid in enumerate(order)}
+    levels = levels_from_parents(order, parents)
+    node_traces = [trace.node(sid) if trace is not None else None
+                   for sid in order]
+
+    carry = np.zeros(total)
+    ys: List[Optional[np.ndarray]] = [None] * len(entries)
+    spreads: List[Optional[np.ndarray]] = [None] * len(entries)
+    completed: List[int] = []
+    for level in levels:
+        if completed:
+            # Rebuild the carry in entries order over all completed
+            # spreads: per-cell float accumulation order == serial.
+            carry[:] = 0.0
+            for i in sorted(completed):
+                if spreads[i] is not None:
+                    carry[entries[i][4]] += spreads[i]
+        tasks = []
+        for sid in level:
+            i = index_of[sid]
+            tasks.append(lambda i=i: _forward_task(
+                entries[i], rhs_flat, carry, node_traces[i]))
+        results = executor.run_level(tasks, stats)
+        for sid, (y, spread) in zip(level, results):
+            i = index_of[sid]
+            ys[i] = y
+            spreads[i] = spread
+            completed.append(i)
+
+    x_flat = np.zeros(total)
+    for level in reversed(levels):
+        tasks = []
+        for sid in level:
+            i = index_of[sid]
+            tasks.append(lambda i=i: _backward_task(
+                entries[i], ys[i], x_flat, node_traces[i]))
+        executor.run_level(tasks, stats)
+    return x_flat
+
+
+def _forward_task(entry, rhs_flat, carry, node_trace):
+    _sid, l_a, l_b, own_idx, row_idx = entry
+    local = rhs_flat[own_idx] - carry[own_idx]
+    y = solve_lower_triangular(l_a, local)
+    if node_trace is not None:
+        node_trace.record(OpKind.TRSV, y.size)
+    spread = None
+    if row_idx is not None:
+        spread = l_b @ y
+        if node_trace is not None:
+            node_trace.record(OpKind.GEMV, spread.size, y.size)
+    return y, spread
+
+
+def _backward_task(entry, y, x_flat, node_trace):
+    _sid, l_a, l_b, own_idx, row_idx = entry
+    local = y
+    if row_idx is not None:
+        above = x_flat[row_idx]
+        local = local - l_b.T @ above
+        if node_trace is not None:
+            node_trace.record(OpKind.GEMV, y.size, above.size)
+    x = solve_lower_triangular(l_a, local, trans=1)
+    if node_trace is not None:
+        node_trace.record(OpKind.TRSV, y.size)
+    x_flat[own_idx] = x
+    return None

@@ -398,6 +398,8 @@ def tree_solve(
     rhs_flat: np.ndarray,
     total: int,
     trace: Optional[OpTrace] = None,
+    workers: int = 1,
+    parents: Optional[Dict[int, Optional[int]]] = None,
 ) -> np.ndarray:
     """Two triangular sweeps (``L y = b``, ``L^T x = y``) over a tree.
 
@@ -405,7 +407,19 @@ def tree_solve(
     (children before parents); ``row_idx`` is None for root nodes.  The
     one shared implementation behind ``IncrementalEngine.solve_with_rhs``
     and ``MultifrontalCholesky.solve``/``solve_vector``.
+
+    With ``workers > 1`` and a ``parents`` map (sid -> parent sid or
+    None), independent subtrees are swept level-parallel on the shared
+    thread pool — bit-identical to the serial sweeps, see
+    :mod:`repro.linalg.parallel`.
     """
+    if workers > 1 and parents is not None and len(entries) > 1:
+        from repro.linalg.parallel import (
+            ParallelStepExecutor,
+            parallel_tree_solve,
+        )
+        return parallel_tree_solve(entries, rhs_flat, total, trace,
+                                   ParallelStepExecutor(workers), parents)
     carry = np.zeros(total)
     ys: List[np.ndarray] = []
     for sid, l_a, l_b, own_idx, row_idx in entries:

@@ -20,6 +20,7 @@ scalar pricing reference the dual-path equivalence tests pin against.
 from __future__ import annotations
 
 import enum
+import threading as _threading
 from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -27,6 +28,9 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 _FP32_BYTES = 4
+
+#: Guards lazy creation of per-trace price locks (double-checked).
+_PRICE_LOCK_INIT = _threading.Lock()
 
 
 class OpKind(enum.Enum):
@@ -199,7 +203,7 @@ class NodeTrace:
 
     __slots__ = ("node_id", "cols", "rows_below", "_codes", "_dims",
                  "_version", "_columns", "_columns_version",
-                 "_lane_cache")
+                 "_lane_cache", "_price_lock")
 
     def __init__(self, node_id: int, cols: int = 0, rows_below: int = 0,
                  ops: Optional[Sequence[Op]] = None):
@@ -214,9 +218,27 @@ class NodeTrace:
         # (soc.pricing_key, hetero_overlap) -> (comp, mem, host); see
         # repro.runtime.scheduler.node_cycles.
         self._lane_cache: Dict[tuple, Tuple[float, float, float]] = {}
+        # Serializes concurrent pricing of this trace: the lane-memo
+        # read-compute-write in node_cycles must be atomic per trace so
+        # LANE_CACHE_STATS stays exact under the worker pool (see
+        # repro.linalg.parallel).  Lazily created — traces are built on
+        # solver hot paths and most are never priced concurrently.
+        self._price_lock: Optional[_threading.Lock] = None
         if ops:
             for op in ops:
                 self.record(op.kind, *op.dims)
+
+    @property
+    def price_lock(self) -> "_threading.Lock":
+        """Per-trace lock guarding the lane memo (see node_cycles)."""
+        lock = self._price_lock
+        if lock is None:
+            with _PRICE_LOCK_INIT:
+                lock = self._price_lock
+                if lock is None:
+                    lock = _threading.Lock()
+                    self._price_lock = lock
+        return lock
 
     # -- recording (solver hot path) -----------------------------------
 
@@ -370,6 +392,19 @@ class NodeTrace:
     def bytes_moved(self) -> int:
         return int(self._int_flops_bytes()[1].sum())
 
+    def extend_from(self, other: "NodeTrace") -> None:
+        """Append another trace's ops (columnar concat, one C-level copy).
+
+        Used to merge a detached per-node trace recorded off the main
+        thread back into the canonical trace; cached columns and the
+        lane memo invalidate through the version bump.
+        """
+        if not other._codes:
+            return
+        self._codes.extend(other._codes)
+        self._dims.extend(other._dims)
+        self._version += 1
+
     def split(self) -> Tuple[List[Op], List[Op]]:
         """Partition into (compute ops, memory ops) for COMP/MEM overlap."""
         compute = [op for op in self.ops if not op.is_memory_op]
@@ -455,6 +490,21 @@ class OpTrace:
             trace.cols = max(trace.cols, cols)
             trace.rows_below = max(trace.rows_below, rows_below)
         return trace
+
+    def adopt(self, trace: NodeTrace) -> None:
+        """Merge a detached :class:`NodeTrace` recorded off the main
+        thread: append its ops when the node already exists, else
+        install it as-is.  Callers adopt in the serial path's node
+        order, preserving the insertion order the float-order-sensitive
+        consumers (``sequential_cycles``) depend on."""
+        existing = self.nodes.get(trace.node_id)
+        if existing is None:
+            self.nodes[trace.node_id] = trace
+        else:
+            existing.cols = max(existing.cols, trace.cols)
+            existing.rows_below = max(existing.rows_below,
+                                      trace.rows_below)
+            existing.extend_from(trace)
 
     def _all_traces(self) -> List[NodeTrace]:
         return list(self.nodes.values()) + [self.loose]

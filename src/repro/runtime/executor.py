@@ -7,6 +7,7 @@ produce the per-step latency the paper's Figures 8, 10 and 11 report.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -44,11 +45,15 @@ class StepLatency:
         return 1e3 * self.total
 
     def as_dict(self) -> Dict[str, float]:
+        # Every dataclass field plus the derived total: utilization used
+        # to be silently dropped here, losing it for every CLI/JSON
+        # consumer of the breakdown.
         return {
             "relinearization": self.relinearization,
             "symbolic": self.symbolic,
             "numeric": self.numeric,
             "overhead": self.overhead,
+            "utilization": self.utilization,
             "total": self.total,
         }
 
@@ -79,7 +84,13 @@ def execute_step(
     parents:
         Dependency tree among traced supernodes (required for parallel
         scheduling on accelerator platforms; CPU/GPU platforms run the
-        trace sequentially).
+        trace sequentially).  When omitted it is derived from
+        ``report.node_parents``; a multi-node trace reaching an
+        accelerator platform with no dependency info at all used to be
+        silently scheduled as a forest of independent roots —
+        overstating parallelism — and now raises a
+        :class:`RuntimeWarning` instead (pass ``parents={}`` explicitly
+        to assert the nodes really are independent).
     """
     host = soc.host
     # Relinearization is trivially parallel (paper Section 3.3) and is
@@ -95,8 +106,21 @@ def execute_step(
     if report.trace is None or not report.trace.nodes:
         numeric = 0.0
     elif soc.has_accelerators:
+        if parents is None:
+            parents = report.node_parents
+        if parents is None:
+            if len(report.trace.nodes) > 1:
+                warnings.warn(
+                    "execute_step: multi-node trace on an accelerator "
+                    "platform with no dependency info (parents=None and "
+                    "report.node_parents unset); scheduling every "
+                    "supernode as an independent root overstates "
+                    "parallelism.  Pass the elimination-tree parents, "
+                    "or parents={} to assert independence.",
+                    RuntimeWarning, stacklevel=2)
+            parents = {}
         result: SimResult = simulate_tree(
-            report.trace.nodes, parents or {}, soc, features)
+            report.trace.nodes, parents, soc, features)
         # Loose ops (solve sweeps outside any supernode) run on the host
         # tile and serialize with the schedule.  They used to be priced
         # only on the no-accelerator branch and silently dropped here;

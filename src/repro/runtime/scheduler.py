@@ -15,6 +15,7 @@ them, the simulation schedules supernodes onto accelerator sets:
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -83,16 +84,31 @@ class LaneCacheStats:
     distinct ``pricing_key``, not once per configuration) is observable
     here: ``reset()`` before a sweep, then ``misses`` counts actual
     vectorized pricings and ``hits`` counts reused lane totals.
+
+    Increments go through :meth:`record_hit`/:meth:`record_miss` under a
+    lock: a bare ``+= 1`` is a load/add/store triple that loses counts
+    when pricing runs on the worker pool, and the autotuner's collapse
+    assertions need these exact.  Reads stay plain attribute access.
     """
 
-    __slots__ = ("hits", "misses")
+    __slots__ = ("hits", "misses", "_lock")
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.reset()
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
 
 
 LANE_CACHE_STATS = LaneCacheStats()
@@ -125,40 +141,46 @@ def node_cycles(trace: NodeTrace, soc: SoCConfig,
     ablation prices each node once per distinct platform.
     """
     key = (soc.pricing_key, features.hetero_overlap)
-    lanes = trace.lane_cache_get(key)
-    if lanes is not None:
-        LANE_CACHE_STATS.hits += 1
-        return lanes
-    LANE_CACHE_STATS.misses += 1
-    if trace.num_ops == 0:
-        lanes = (0.0, 0.0, 0.0)
+    # The whole lookup-compute-store is atomic per trace: two threads
+    # pricing the same trace concurrently would otherwise both miss
+    # (torn memo writes, inexact collapse counters).  Distinct traces
+    # price concurrently — only same-trace callers serialize.
+    with trace.price_lock:
+        lanes = trace.lane_cache_get(key)
+        if lanes is not None:
+            LANE_CACHE_STATS.record_hit()
+            return lanes
+        LANE_CACHE_STATS.record_miss()
+        if trace.num_ops == 0:
+            lanes = (0.0, 0.0, 0.0)
+            trace.lane_cache_put(key, lanes)
+            return lanes
+
+        memory = trace.memory_mask()
+        if soc.has_accelerators:
+            on_comp = soc.comp.supports_mask(trace)
+        else:
+            on_comp = np.zeros(trace.num_ops, dtype=bool)
+        on_mem = memory & ~on_comp if soc.offloads_memory_ops \
+            else np.zeros(trace.num_ops, dtype=bool)
+        on_host = ~(on_comp | on_mem)
+
+        comp_cycles = _ordered_sum(soc.comp.price_ops(trace), on_comp) \
+            if on_comp.any() else 0.0
+        mem_cycles = 0.0
+        host_cycles = _ordered_sum(soc.host.price_ops(trace), on_host) \
+            if on_host.any() else 0.0
+        if on_mem.any():
+            mem_tile_cycles = _ordered_sum(soc.mem.price_ops(trace),
+                                           on_mem)
+            if features.hetero_overlap:
+                mem_cycles = mem_tile_cycles
+            else:
+                host_cycles += mem_tile_cycles
+
+        lanes = (comp_cycles, mem_cycles, host_cycles)
         trace.lane_cache_put(key, lanes)
         return lanes
-
-    memory = trace.memory_mask()
-    if soc.has_accelerators:
-        on_comp = soc.comp.supports_mask(trace)
-    else:
-        on_comp = np.zeros(trace.num_ops, dtype=bool)
-    on_mem = memory & ~on_comp if soc.offloads_memory_ops \
-        else np.zeros(trace.num_ops, dtype=bool)
-    on_host = ~(on_comp | on_mem)
-
-    comp_cycles = _ordered_sum(soc.comp.price_ops(trace), on_comp) \
-        if on_comp.any() else 0.0
-    mem_cycles = 0.0
-    host_cycles = _ordered_sum(soc.host.price_ops(trace), on_host) \
-        if on_host.any() else 0.0
-    if on_mem.any():
-        mem_tile_cycles = _ordered_sum(soc.mem.price_ops(trace), on_mem)
-        if features.hetero_overlap:
-            mem_cycles = mem_tile_cycles
-        else:
-            host_cycles += mem_tile_cycles
-
-    lanes = (comp_cycles, mem_cycles, host_cycles)
-    trace.lane_cache_put(key, lanes)
-    return lanes
 
 
 def node_duration(comp: float, mem: float, host: float, sets: int,

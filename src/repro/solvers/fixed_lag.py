@@ -133,14 +133,19 @@ class FixedLagSmoother:
     ordering:
         An :class:`~repro.linalg.ordering.OrderingPolicy` name or
         instance for the per-step window solve (default chronological).
+    workers:
+        Thread-pool size for level-scheduled parallel factorization
+        (bit-identical to serial; ``None`` reads ``REPRO_WORKERS``).
     """
 
     def __init__(self, window: int = 20, iterations: int = 2,
                  damping: float = 1e-6,
-                 ordering: "OrderingSpec" = "chronological"):
+                 ordering: "OrderingSpec" = "chronological",
+                 workers: Optional[int] = None):
         self.window = int(window)
         self.iterations = int(iterations)
         self.damping = float(damping)
+        self.workers = workers
         self.ordering_policy = make_ordering_policy(ordering)
         self.ordering = self.ordering_policy.name
         self.graph = FactorGraph()
@@ -188,7 +193,8 @@ class FixedLagSmoother:
         # iterations, so iteration 2+ reuses every step-plan compiled by
         # iteration 1 through the shared executor (factorize fully
         # overwrites L and the gradient, so reuse is exact).
-        solver = MultifrontalCholesky(symbolic, damping=self.damping)
+        solver = MultifrontalCholesky(symbolic, damping=self.damping,
+                                      workers=self.workers)
         for iteration in range(self.iterations):
             start = time.perf_counter()
             contributions, n_batched, n_fallback = linearize_many(
@@ -208,6 +214,11 @@ class FixedLagSmoother:
         ctx.plan_hits += hits
         ctx.plan_misses += misses
         ctx.plan_compiles += compiles
+        stats = solver.level_stats  # fresh solver: step-local counts
+        ctx.parallel_nodes += stats.nodes
+        ctx.parallel_levels += stats.levels
+        ctx.parallel_task_seconds += stats.task_seconds
+        ctx.parallel_wall_seconds += stats.wall_seconds
 
     def _marginalize_oldest(self) -> None:
         key = self._active.pop(0)

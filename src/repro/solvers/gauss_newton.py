@@ -8,7 +8,7 @@ reference trajectories, the Local+Global baseline's LC solver, and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
@@ -46,18 +46,23 @@ class GaussNewton:
         An :class:`~repro.linalg.ordering.OrderingPolicy` name
         (``"chronological"``, ``"minimum_degree"``,
         ``"constrained_colamd"``, ``"nested_dissection"``) or instance.
+    workers:
+        Thread-pool size for level-scheduled parallel factorization
+        (bit-identical to serial; ``None`` reads ``REPRO_WORKERS``).
     """
 
     def __init__(self, max_iterations: int = 20, tolerance: float = 1e-6,
                  damping: float = 0.0,
                  ordering: OrderingSpec = "chronological",
-                 max_supernode_vars: int = 8):
+                 max_supernode_vars: int = 8,
+                 workers: Optional[int] = None):
         self.max_iterations = int(max_iterations)
         self.tolerance = float(tolerance)
         self.damping = float(damping)
         self.ordering_policy = make_ordering_policy(ordering)
         self.ordering = self.ordering_policy.name
         self.max_supernode_vars = int(max_supernode_vars)
+        self.workers = workers
 
     def _order(self, graph: FactorGraph, keys) -> List[Key]:
         return self.ordering_policy.order(
@@ -80,7 +85,8 @@ class GaussNewton:
         iterations = 0
         # One solver for all iterations: the structure never changes, so
         # every iteration past the first reuses the compiled step-plans.
-        solver = MultifrontalCholesky(symbolic, damping=self.damping)
+        solver = MultifrontalCholesky(symbolic, damping=self.damping,
+                                      workers=self.workers)
         for iterations in range(1, self.max_iterations + 1):
             contributions = linearize_graph(
                 graph.factors(), values, position_of)

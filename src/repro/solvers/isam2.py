@@ -62,17 +62,21 @@ from repro.factorgraph.values import Values
 from repro.instrumentation.context import StepContext
 from repro.linalg.cholesky import FactorContribution
 from repro.linalg.ordering import amd_order_positions
+from repro.linalg.parallel import (
+    LevelStats,
+    ParallelStepExecutor,
+    levels_from_parents,
+)
 from repro.linalg.plan import (
     NodePlan,
     PlanCache,
-    StepExecutor,
     compile_node_plan,
     node_signature,
     plans_equal,
     reindexed_plan,
     tree_solve,
 )
-from repro.linalg.trace import OpTrace
+from repro.linalg.trace import NodeTrace, OpTrace
 from repro.solvers.base import StepReport
 from repro.solvers.batch_linearize import linearize_many
 from repro.state import BlockVector
@@ -131,6 +135,11 @@ class IncrementalEngine:
         Under ``constrained_colamd``: attempt a re-ordering at most every
         ``reorder_interval`` steps, and only when the affected suffix
         spans at least ``reorder_min_suffix`` positions.
+    workers:
+        Thread-pool size for level-scheduled parallel execution of the
+        refactorize / back-substitution / marginal-solve phases (see
+        :mod:`repro.linalg.parallel`); bit-identical to the serial
+        path.  ``None`` reads ``REPRO_WORKERS`` (default 1 = serial).
     """
 
     #: Engine-supported ordering modes (batch policies don't apply online).
@@ -139,7 +148,8 @@ class IncrementalEngine:
     def __init__(self, max_supernode_vars: int = 8, relax_fill: int = 1,
                  wildfire_tol: float = 1e-5, damping: float = 0.0,
                  ordering: str = "chronological",
-                 reorder_interval: int = 25, reorder_min_suffix: int = 8):
+                 reorder_interval: int = 25, reorder_min_suffix: int = 8,
+                 workers: Optional[int] = None):
         self.max_supernode_vars = int(max_supernode_vars)
         self.relax_fill = int(relax_fill)
         self.wildfire_tol = float(wildfire_tol)
@@ -177,7 +187,8 @@ class IncrementalEngine:
         self._next_sid = 0
 
         self._plans = PlanCache()
-        self._executor = StepExecutor()
+        self._executor = ParallelStepExecutor(workers)
+        self.workers = self._executor.workers
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -715,8 +726,65 @@ class IncrementalEngine:
         lin = self._lin
         fresh_nodes = sorted((self.nodes[sid] for sid in fresh),
                              key=lambda n: n.positions[0])
+        if executor.workers > 1 and len(fresh_nodes) > 1:
+            self._refactorize_parallel(fresh_nodes, ctx, aud)
+        else:
+            for node in fresh_nodes:
+                children = self._children_nodes(node)
+                plan = self._plan_for(node, children, aud)
+                node.plan = plan
+                node.pos_idx = plan.pos_idx
+                node.pattern_idx = plan.pattern_idx
+                node.pattern_arr = plan.pattern_arr
+                node.positions_arr = plan.positions_arr
+                node.pos_starts = plan.pos_starts
+
+                node_trace = ctx.node(node.sid, cols=plan.m,
+                                      rows_below=plan.front_size - plan.m)
+                node.l_a, node.l_b, node.c_update = \
+                    executor.factorize_node(
+                        plan,
+                        [lin[index].hessian for index in plan.factor_ids],
+                        [child.c_update for child in children],
+                        self.damping, node_trace)
+
+                rhs = (self._gradient.gather(plan.pos_idx)
+                       - self._carry.gather(plan.pos_idx))
+                node.y, node.v = executor.forward_update(
+                    plan, node.l_a, node.l_b, rhs, node_trace)
+                if node.v is not None:
+                    self._carry.scatter_add(plan.pattern_idx, node.v, 1.0)
+        ctx.plan_hits += cache.hits - hits0
+        ctx.plan_misses += cache.misses - misses0
+        ctx.plan_compiles += cache.compiles - compiles0
+        ctx.refactor_seconds += time.perf_counter() - start
+
+    def _refactorize_parallel(self, fresh_nodes: List[_Node],
+                              ctx: StepContext, aud) -> None:
+        """Level-scheduled twin of the serial refactorize loop.
+
+        Bit-identical by construction (see :mod:`repro.linalg.parallel`):
+
+        * Phase 0 (serial, head order): plan resolution — so plan-cache
+          traffic, auditor recompiles and trace-node creation order all
+          match the serial path exactly.
+        * Phase 1 (parallel, level by level): the pure frontal kernel
+          ``factorize_node``, whose inputs (factor Hessians, children's
+          ``C_update`` in plan assembly order) are gathered on the main
+          thread after the previous level's barrier.  This is the POTRF
+          / TRSM / SYRK bulk that numpy/LAPACK run with the GIL
+          released.
+        * Phase 2 (serial, head order): rhs gather, forward solve and
+          the carry scatter-add — float accumulations whose cross-
+          subtree order the level schedule would otherwise reorder.
+        """
+        executor = self._executor
+        lin = self._lin
+        children_of: Dict[int, List[_Node]] = {}
+        traces: Dict[int, Optional[NodeTrace]] = {}
         for node in fresh_nodes:
             children = self._children_nodes(node)
+            children_of[node.sid] = children
             plan = self._plan_for(node, children, aud)
             node.plan = plan
             node.pos_idx = plan.pos_idx
@@ -724,30 +792,55 @@ class IncrementalEngine:
             node.pattern_arr = plan.pattern_arr
             node.positions_arr = plan.positions_arr
             node.pos_starts = plan.pos_starts
+            traces[node.sid] = ctx.node(node.sid, cols=plan.m,
+                                        rows_below=plan.front_size - plan.m)
 
-            node_trace = ctx.node(node.sid, cols=plan.m,
-                                  rows_below=plan.front_size - plan.m)
-            node.l_a, node.l_b, node.c_update = executor.factorize_node(
-                plan, [lin[index].hessian for index in plan.factor_ids],
-                [child.c_update for child in children],
-                self.damping, node_trace)
+        parents = {
+            node.sid: (self.node_of[node.pattern[0]] if node.pattern
+                       else None)
+            for node in fresh_nodes}
+        levels = levels_from_parents([n.sid for n in fresh_nodes], parents)
+        stats = LevelStats()
+        for level in levels:
+            nodes = [self.nodes[sid] for sid in level]
+            tasks = []
+            for node in nodes:
+                plan = node.plan
+                hessians = [lin[index].hessian
+                            for index in plan.factor_ids]
+                child_updates = [child.c_update
+                                 for child in children_of[node.sid]]
+                tasks.append(
+                    lambda p=plan, h=hessians, c=child_updates,
+                    t=traces[node.sid]:
+                    executor.factorize_node(p, h, c, self.damping, t))
+            results = executor.run_level(tasks, stats)
+            for node, (l_a, l_b, c_update) in zip(nodes, results):
+                node.l_a = l_a
+                node.l_b = l_b
+                node.c_update = c_update
 
+        for node in fresh_nodes:
+            plan = node.plan
             rhs = (self._gradient.gather(plan.pos_idx)
                    - self._carry.gather(plan.pos_idx))
             node.y, node.v = executor.forward_update(
-                plan, node.l_a, node.l_b, rhs, node_trace)
+                plan, node.l_a, node.l_b, rhs, traces[node.sid])
             if node.v is not None:
                 self._carry.scatter_add(plan.pattern_idx, node.v, 1.0)
-        ctx.plan_hits += cache.hits - hits0
-        ctx.plan_misses += cache.misses - misses0
-        ctx.plan_compiles += cache.compiles - compiles0
-        ctx.refactor_seconds += time.perf_counter() - start
+        ctx.parallel_nodes += stats.nodes
+        ctx.parallel_levels += stats.levels
+        ctx.parallel_task_seconds += stats.task_seconds
+        ctx.parallel_wall_seconds += stats.wall_seconds
 
     # ------------------------------------------------------------------
     # phase H: wildfire back-substitution (top-down)
     # ------------------------------------------------------------------
 
     def _back_substitute(self, fresh: List[int], ctx: StepContext) -> None:
+        if self._executor.workers > 1 and len(self.nodes) > 1:
+            self._back_substitute_parallel(fresh, ctx)
+            return
         fresh_set = set(fresh)
         changed = np.zeros(self.num_positions)
         delta_data = self.delta.data
@@ -775,6 +868,84 @@ class IncrementalEngine:
                     diffs, node.pos_starts)
                 delta_data[node.pos_idx] = x
 
+    def _back_substitute_parallel(self, fresh: List[int],
+                                  ctx: StepContext) -> None:
+        """Depth-level-scheduled twin of the wildfire sweep.
+
+        The top-down solve is naturally exact under level parallelism: a
+        node reads ``delta``/``changed`` only at its pattern positions
+        (owned by strict ancestors, finished in earlier levels) and
+        writes only its own positions (disjoint within a level), with no
+        cross-node float accumulation anywhere.  The wildfire dirty test
+        is evaluated on the main thread at each level boundary, so it
+        sees exactly the serial scan's ``changed`` state.
+
+        Trace fidelity: backsolve ops are recorded into detached
+        :class:`NodeTrace` objects and merged at the end in descending
+        last-position order — the serial scan's processing order, which
+        level-major order does *not* preserve (a deeper node in one
+        subtree can sit above a shallower node in another).
+        """
+        fresh_set = set(fresh)
+        changed = np.zeros(self.num_positions)
+        delta_data = self.delta.data
+        executor = self._executor
+        tracing = ctx.trace is not None
+        # Parents first: a parent's last position is always above every
+        # descendant's (its head exceeds the child's last position).
+        ordered = sorted(self.nodes.values(),
+                         key=lambda nd: -nd.positions[-1])
+        depth: Dict[int, int] = {}
+        levels: List[List[_Node]] = []
+        for node in ordered:
+            if node.pattern:
+                d = depth[self.node_of[node.pattern[0]]] + 1
+            else:
+                d = 0
+            depth[node.sid] = d
+            if len(levels) <= d:
+                levels.append([])
+            levels[d].append(node)
+        processed: List[Tuple[_Node, Optional[NodeTrace]]] = []
+        stats = LevelStats()
+        for level in levels:
+            tasks = []
+            for node in level:
+                dirty = node.sid in fresh_set
+                if not dirty and node.pattern:
+                    dirty = bool(np.any(changed[node.pattern_arr]
+                                        > self.wildfire_tol))
+                if not dirty:
+                    continue
+                ctx.backsub += 1
+                node_trace = NodeTrace(node.sid) if tracing else None
+                processed.append((node, node_trace))
+                tasks.append(lambda nd=node, nt=node_trace:
+                             self._backsolve_task(nd, nt, changed,
+                                                  delta_data))
+            executor.run_level(tasks, stats)
+        if tracing:
+            processed.sort(key=lambda item: -item[0].positions[-1])
+            for _, node_trace in processed:
+                ctx.trace.adopt(node_trace)
+        ctx.parallel_nodes += stats.nodes
+        ctx.parallel_levels += stats.levels
+        ctx.parallel_task_seconds += stats.task_seconds
+        ctx.parallel_wall_seconds += stats.wall_seconds
+
+    def _backsolve_task(self, node: _Node,
+                        node_trace: Optional[NodeTrace],
+                        changed: np.ndarray,
+                        delta_data: np.ndarray) -> None:
+        above = delta_data[node.pattern_idx] if node.pattern else None
+        x = self._executor.backsolve_node(
+            node.l_a, node.l_b, node.y, above, node_trace)
+        if x.size:
+            diffs = np.abs(x - delta_data[node.pos_idx])
+            changed[node.positions_arr] = np.maximum.reduceat(
+                diffs, node.pos_starts)
+            delta_data[node.pos_idx] = x
+
     # ------------------------------------------------------------------
     # marginals
     # ------------------------------------------------------------------
@@ -793,7 +964,14 @@ class IncrementalEngine:
         entries = [(node.sid, node.l_a, node.l_b, node.pos_idx,
                     node.pattern_idx if node.pattern else None)
                    for node in ordered]
-        x = tree_solve(entries, flat, total)
+        parents = None
+        if self.workers > 1:
+            parents = {
+                node.sid: (self.node_of[node.pattern[0]] if node.pattern
+                           else None)
+                for node in ordered}
+        x = tree_solve(entries, flat, total, workers=self.workers,
+                       parents=parents)
         return [x[offsets[p]:offsets[p + 1]]
                 for p in range(self.num_positions)]
 
@@ -878,12 +1056,14 @@ class ISAM2:
                  wildfire_tol: float = 1e-5, damping: float = 0.0,
                  max_supernode_vars: int = 8,
                  ordering: str = "chronological",
-                 reorder_interval: int = 25):
+                 reorder_interval: int = 25,
+                 workers: Optional[int] = None):
         self.relin_threshold = float(relin_threshold)
         self.engine = IncrementalEngine(
             max_supernode_vars=max_supernode_vars,
             wildfire_tol=wildfire_tol, damping=damping,
-            ordering=ordering, reorder_interval=reorder_interval)
+            ordering=ordering, reorder_interval=reorder_interval,
+            workers=workers)
         self._step = -1
 
     def update(self, new_values: Dict[Key, object],

@@ -9,7 +9,7 @@ robustified problems (outlier closures, bearing-range landmarks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
@@ -47,12 +47,16 @@ class LevenbergMarquardt:
     ordering:
         An :class:`~repro.linalg.ordering.OrderingPolicy` name or
         instance.
+    workers:
+        Thread-pool size for level-scheduled parallel factorization
+        (bit-identical to serial; ``None`` reads ``REPRO_WORKERS``).
     """
 
     def __init__(self, max_iterations: int = 30, tolerance: float = 1e-9,
                  initial_lambda: float = 1e-4, lambda_factor: float = 10.0,
                  max_lambda: float = 1e8,
-                 ordering: OrderingSpec = "chronological"):
+                 ordering: OrderingSpec = "chronological",
+                 workers: Optional[int] = None):
         self.max_iterations = int(max_iterations)
         self.tolerance = float(tolerance)
         self.initial_lambda = float(initial_lambda)
@@ -60,6 +64,7 @@ class LevenbergMarquardt:
         self.max_lambda = float(max_lambda)
         self.ordering_policy = make_ordering_policy(ordering)
         self.ordering = self.ordering_policy.name
+        self.workers = workers
 
     def optimize(self, graph: FactorGraph,
                  initial: Values) -> LevenbergResult:
@@ -89,7 +94,8 @@ class LevenbergMarquardt:
             stepped = False
             while lam <= self.max_lambda:
                 solver = MultifrontalCholesky(symbolic, damping=lam,
-                                              plan_cache=plan_cache)
+                                              plan_cache=plan_cache,
+                                              workers=self.workers)
                 try:
                     solver.factorize(contributions)
                 except SingularHessianError:

@@ -22,8 +22,14 @@ SOLVER_CONFIGS = max(4, int(os.environ.get("REPRO_STRESS_CONFIGS",
 def test_raisam2_pipeline_audited_sweep():
     for seed in range(SOLVER_CONFIGS):
         dataset, soc, target, policy = solver_config(seed)
+        # Odd seeds run the level-scheduled parallel numeric path, so
+        # the auditor's plan-consistency and conservation checks — and
+        # the pricing stage's concurrent-safe lane memo — are exercised
+        # under the worker pool as well (bit-identical to serial).
+        workers = 2 if seed % 2 else 1
         solver = RAISAM2(NodeCostModel(soc), target_seconds=target,
-                         selection_policy=policy, selection_seed=seed)
+                         selection_policy=policy, selection_seed=seed,
+                         workers=workers)
         pipeline = BackendPipeline(solver, [PricingStage(soc)],
                                    collect_traces=True)
         with audited() as aud:

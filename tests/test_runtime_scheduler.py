@@ -228,11 +228,76 @@ class TestExecuteStep:
         assert spat.numeric > nova.numeric
 
     def test_as_dict_keys(self):
+        # Regression: utilization used to be silently dropped from the
+        # breakdown dict even though the dataclass carries it.
         report = self.make_report(supernova_soc(1))
         latency = execute_step(report, supernova_soc(1),
                                report.node_parents)
         assert set(latency.as_dict().keys()) == {
-            "relinearization", "symbolic", "numeric", "overhead", "total"}
+            "relinearization", "symbolic", "numeric", "overhead",
+            "utilization", "total"}
+
+    def test_as_dict_values_match_fields(self):
+        soc = supernova_soc(2)
+        report = self.make_report(soc)
+        latency = execute_step(report, soc, report.node_parents)
+        breakdown = latency.as_dict()
+        assert breakdown["relinearization"] == latency.relinearization
+        assert breakdown["symbolic"] == latency.symbolic
+        assert breakdown["numeric"] == latency.numeric
+        assert breakdown["overhead"] == latency.overhead
+        assert breakdown["utilization"] == latency.utilization
+        assert breakdown["total"] == latency.total
+        assert 0.0 < breakdown["utilization"] <= 1.0
+
+    def make_chain_report(self):
+        """3 nodes in a dependency chain 0 -> 1 -> 2 (root)."""
+        trace = OpTrace()
+        for sid in range(3):
+            node = trace.node(sid, cols=12, rows_below=12)
+            node.ops.extend(make_node(sid).ops)
+        return StepReport(
+            step=0, relinearized_factors=5, affected_columns=8,
+            refactored_nodes=3, trace=trace, selection_visits=6,
+            node_parents={0: 1, 1: 2, 2: None})
+
+    def test_parents_derived_from_report(self):
+        # Regression: execute_step(report, soc) used to schedule every
+        # node as an independent root instead of reading
+        # report.node_parents, overstating parallelism on accelerator
+        # platforms.
+        soc = supernova_soc(4)
+        report = self.make_chain_report()
+        derived = execute_step(report, soc)
+        explicit = execute_step(report, soc, report.node_parents)
+        assert derived.numeric == pytest.approx(explicit.numeric)
+        # A forest of independent roots runs the chain in parallel and
+        # must be strictly faster — the old buggy behaviour.
+        forest = execute_step(report, soc, parents={})
+        assert forest.numeric < derived.numeric
+
+    def test_warns_on_missing_dependency_info(self):
+        soc = supernova_soc(4)
+        report = self.make_chain_report()
+        report.node_parents = None
+        with pytest.warns(RuntimeWarning, match="no dependency info"):
+            execute_step(report, soc)
+
+    def test_no_warning_for_single_node_or_explicit_empty(self):
+        import warnings
+
+        soc = supernova_soc(2)
+        trace = OpTrace()
+        trace.node(0, cols=12, rows_below=12).ops.extend(make_node(0).ops)
+        single = StepReport(step=0, relinearized_factors=1,
+                            affected_columns=1, refactored_nodes=1,
+                            trace=trace)
+        multi = self.make_chain_report()
+        multi.node_parents = None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            execute_step(single, soc)          # one node: nothing to order
+            execute_step(multi, soc, parents={})  # explicit independence
 
 
 class TestDramContention:
