@@ -1,0 +1,88 @@
+"""Serving-layer throughput gate: fleet vs isolated-session looping.
+
+Drives the same 32-session identical-topology SE(2) workload through
+(a) a plain loop of isolated per-session ``update()`` calls and (b) the
+multi-tenant :class:`~repro.serving.fleet.SessionFleet` with every
+sharing feature on.  Two assertions:
+
+* **Bit-identity (always runs):** with degradation off, the fleet's
+  per-session estimates must equal the isolated baseline's with
+  ``atol=0`` — fusion, the shared plan cache and merged level
+  scheduling are execution-strategy changes only.
+* **Throughput floor (≥ 4 cores):** the fleet must clear ``3x``
+  session-steps/second over the isolated loop at 32 concurrent
+  sessions.  The win stacks fused-kernel fixed-cost amortization and
+  cross-session plan reuse (31/32 of all plan compiles disappear) on
+  top of merged-level parallelism; below 4 cores the parallel leg is
+  noise-dominated, so the floor self-skips as specified.
+"""
+
+import os
+
+import pytest
+
+from repro.serving import (
+    FleetConfig,
+    compare_snapshots,
+    default_solver_factory,
+    fleet_workload,
+    run_fleet,
+    run_isolated,
+)
+
+SESSIONS = 32
+STEPS = int(os.environ.get("REPRO_SERVE_STEPS", "25"))
+MIN_SPEEDUP = 3.0
+
+
+def test_fleet_bit_identical_at_scale(save_result):
+    """The bit-identity gate — runs on any machine, any core count."""
+    workloads = fleet_workload(SESSIONS, max(8, STEPS // 3))
+    factory = default_solver_factory()
+    iso = run_isolated(workloads, factory)
+    flt, fleet = run_fleet(workloads, factory,
+                           FleetConfig(degrade=False))
+    compare_snapshots(iso.snapshots, flt.snapshots, atol=0.0)
+    assert not fleet.dead_sessions
+    hits, misses, compiles, deep = fleet.plan_cache.snapshot()
+    assert deep == 0, "production hit path must stay hash-only"
+    save_result(
+        "serving_bit_identity",
+        f"serving bit-identity: {SESSIONS} sessions x "
+        f"{max(8, STEPS // 3)} steps identical at atol=0\n"
+        f"shared plan cache: {hits} hits / {misses} misses / "
+        f"{compiles} compiles / {deep} deep compares")
+
+
+def test_fleet_throughput_floor(save_result):
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"needs >= 4 cores for the throughput floor "
+                    f"(have {cores})")
+    workloads = fleet_workload(SESSIONS, STEPS)
+    factory = default_solver_factory()
+    # Warm NumPy/BLAS paths once so neither arm pays first-call costs.
+    run_isolated(fleet_workload(2, 4), factory)
+
+    iso = run_isolated(workloads, factory)
+    flt, fleet = run_fleet(workloads, factory,
+                           FleetConfig(degrade=False))
+    speedup = flt.session_steps_per_second / iso.session_steps_per_second
+    lines = [
+        f"serving throughput @ {SESSIONS} sessions x {STEPS} steps "
+        f"({cores} cores)",
+        f"  isolated: {iso.elapsed:8.3f} s  "
+        f"{iso.session_steps_per_second:10.1f} session-steps/s",
+        f"  fleet:    {flt.elapsed:8.3f} s  "
+        f"{flt.session_steps_per_second:10.1f} session-steps/s",
+        f"  speedup:  {speedup:.2f}x (floor {MIN_SPEEDUP:.1f}x)",
+    ]
+    agg = fleet.aggregates()
+    lines.append("  " + " ".join(
+        f"{key}={agg[key]:g}"
+        for key in ("fleet_plan_hits", "fleet_plan_compiles",
+                    "steps_completed", "sessions_dead")))
+    save_result("serving_throughput", "\n".join(lines))
+    assert flt.steps_completed == iso.steps_completed
+    assert speedup >= MIN_SPEEDUP, \
+        f"fleet speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor"

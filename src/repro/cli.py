@@ -225,6 +225,46 @@ def cmd_autotune(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    """Fleet-vs-isolated serving benchmark (see repro.serving.bench)."""
+    from repro.serving import (
+        FleetConfig,
+        compare_snapshots,
+        default_solver_factory,
+        fleet_workload,
+        run_fleet,
+        run_isolated,
+    )
+
+    workloads = fleet_workload(args.sessions, args.steps)
+    factory = default_solver_factory(
+        relin_threshold=args.relin_threshold)
+    config = FleetConfig(workers=args.workers, degrade=not args.no_degrade,
+                         target_seconds=args.target_ms * 1e-3)
+    iso = run_isolated(workloads, factory)
+    flt, fleet = run_fleet(workloads, factory, config)
+    print(f"sessions={args.sessions} steps/session={args.steps}")
+    print(f"isolated: {iso.elapsed:.3f} s "
+          f"({iso.session_steps_per_second:.1f} session-steps/s)")
+    print(f"fleet:    {flt.elapsed:.3f} s "
+          f"({flt.session_steps_per_second:.1f} session-steps/s, "
+          f"{iso.elapsed / max(flt.elapsed, 1e-12):.2f}x)")
+    agg = fleet.aggregates()
+    print("fleet aggregates: "
+          + " ".join(f"{key}={agg[key]:g}" for key in sorted(agg)))
+    if config.degrade:
+        print("bit-identity check skipped (degradation enabled; "
+              "rerun with --no-degrade to verify)")
+        return 0
+    try:
+        compare_snapshots(iso.snapshots, flt.snapshots, atol=0.0)
+    except AssertionError as exc:
+        print(f"BIT-IDENTITY FAILURE: {exc}")
+        return 1
+    print("fleet estimates bit-identical to isolated sessions (atol=0)")
+    return 0
+
+
 def _int_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part]
 
@@ -310,6 +350,23 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--max-power-w", type=float, default=None)
     tune.add_argument("--verbose", action="store_true")
     tune.set_defaults(func=cmd_autotune)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="multi-tenant serving benchmark: fleet vs isolated loops")
+    serve.add_argument("--sessions", type=int, default=8)
+    serve.add_argument("--steps", type=int, default=25,
+                       help="trajectory steps per session")
+    serve.add_argument("--relin-threshold", type=float, default=0.1)
+    serve.add_argument("--target-ms", type=float, default=33.3,
+                       help="per-session step-latency budget fed to the "
+                            "admission controller")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="shared worker-pool size (0 = one per CPU)")
+    serve.add_argument("--no-degrade", action="store_true",
+                       help="pin relin_scale at 1.0 and gate estimates "
+                            "bit-identical to the isolated baseline")
+    serve.set_defaults(func=cmd_serve_bench)
     return parser
 
 

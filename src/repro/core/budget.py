@@ -67,6 +67,24 @@ class StepBudget:
             return False
         return True
 
+    def scale_optional(self, scale: float) -> None:
+        """Shrink what is left for *optional* work (overload shedding).
+
+        The serving fleet's admission controller calls this with its
+        current degradation factor before greedy selection: a positive
+        ``remaining`` (and ``energy_remaining``) is multiplied by
+        ``scale in [0, 1]``.  Mandatory work is never repriced and the
+        solve is never charged against this budget at all, so scaling
+        can only shed relinearization breadth — never the solve.
+        """
+        if not 0.0 <= scale <= 1.0:
+            raise ValueError("scale must be in [0, 1]")
+        if self.remaining > 0.0:
+            self.remaining *= scale
+        if self.energy_remaining is not None and \
+                self.energy_remaining > 0.0:
+            self.energy_remaining *= scale
+
     def charge(self, seconds: float, joules: float = 0.0) -> bool:
         """Charge optional work if it fits; returns whether it did."""
         aud = current_auditor()

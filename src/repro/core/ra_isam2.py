@@ -14,7 +14,7 @@ Each step:
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set
 
 from repro.core.budget import StepBudget
 from repro.core.relevance import RelinCostEstimator, relevance_scores
@@ -25,8 +25,24 @@ from repro.hardware.power import PowerModel
 from repro.instrumentation import StepContext
 from repro.linalg.trace import OpTrace
 from repro.runtime.cost_model import NodeCostModel
+from repro.linalg.plan import PlanCache
 from repro.solvers.base import StepReport
 from repro.solvers.isam2 import IncrementalEngine
+
+
+class SelectionPlan(NamedTuple):
+    """Outcome of one budgeted relinearization-selection pass.
+
+    ``shed`` counts variables the *nominal* (unscaled) budget would have
+    admitted but the overload-scaled budget did not — the fleet's
+    graceful-degradation metric, zero whenever ``budget_scale >= 1``.
+    """
+
+    selected: List[Key]
+    deferred: int
+    shed: int
+    charged: float
+    visits: int
 
 
 class RAISAM2:
@@ -68,7 +84,8 @@ class RAISAM2:
                  selection_seed: int = 0,
                  ordering: str = "chronological",
                  reorder_interval: int = 25,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 plan_cache: Optional[PlanCache] = None):
         if selection_policy not in ("relevance", "fifo", "random"):
             raise ValueError(f"unknown policy {selection_policy!r}")
         self.cost_model = cost_model
@@ -83,20 +100,26 @@ class RAISAM2:
             max_supernode_vars=max_supernode_vars,
             wildfire_tol=wildfire_tol, damping=damping,
             ordering=ordering, reorder_interval=reorder_interval,
-            workers=workers)
+            workers=workers, plan_cache=plan_cache)
         self._step = -1
 
     def _estimate_energy(self, seconds: float) -> float:
         """Coarse energy estimate: average power x time."""
         return self.power_model.peak_watts * 0.7 * seconds
 
-    def update(self, new_values: Dict[Key, object],
-               new_factors: Sequence[Factor],
-               trace: Optional[OpTrace] = None,
-               context: Optional[StepContext] = None) -> StepReport:
-        """One resource-aware backend step."""
-        self._step += 1
-        ctx = context if context is not None else StepContext(trace)
+    def plan_selection(self, new_factors: Sequence[Factor],
+                       budget_scale: float = 1.0) -> SelectionPlan:
+        """Budgeted greedy relinearization selection for one step.
+
+        ``budget_scale`` is the fleet admission controller's degradation
+        factor: below 1.0 the optional budget is shrunk *after* the
+        mandatory charge (mandatory work and the solve are untouchable)
+        and a shadow nominal budget runs the identical charge sequence
+        at full size so every shed variable — admitted nominally,
+        rejected scaled — is counted.  At ``budget_scale >= 1`` the
+        shadow is skipped and the pass is the historical solo path,
+        charge for charge.
+        """
         budget = StepBudget(self.target_seconds, self.safety,
                             self.energy_budget_joules)
         estimator = RelinCostEstimator(
@@ -110,8 +133,14 @@ class RAISAM2:
                            if k in self.engine.pos_of)
         mandatory = estimator.mandatory_cost(touched)
         mandatory += self.cost_model.relin_seconds(len(new_factors))
-        budget.charge_mandatory(mandatory,
-                                self._estimate_energy(mandatory))
+        mandatory_joules = self._estimate_energy(mandatory)
+        budget.charge_mandatory(mandatory, mandatory_joules)
+        nominal: Optional[StepBudget] = None
+        if budget_scale < 1.0:
+            nominal = StepBudget(self.target_seconds, self.safety,
+                                 self.energy_budget_joules)
+            nominal.charge_mandatory(mandatory, mandatory_joules)
+            budget.scale_optional(budget_scale)
 
         # Greedy selection, ranked by the configured policy.
         candidates = relevance_scores(self.engine, self.score_floor)
@@ -125,25 +154,41 @@ class RAISAM2:
         elif self.selection_policy == "random":
             candidates = list(candidates)
             self._selection_rng.shuffle(candidates)
-        selected = []
+        selected: List[Key] = []
         deferred = 0
+        shed = 0
         charged = mandatory
         for score, key in candidates:
             cost = estimator.relin_cost(key)
-            if budget.charge(cost, self._estimate_energy(cost)):
+            joules = self._estimate_energy(cost)
+            admitted = budget.charge(cost, joules)
+            if nominal is not None and nominal.charge(cost, joules) \
+                    and not admitted:
+                shed += 1
+            if admitted:
                 selected.append(key)
                 charged += cost
             else:
                 deferred += 1
+        return SelectionPlan(selected, deferred, shed, charged,
+                             estimator.visits)
 
-        info = self.engine.update(new_values, new_factors, selected,
+    def update(self, new_values: Dict[Key, object],
+               new_factors: Sequence[Factor],
+               trace: Optional[OpTrace] = None,
+               context: Optional[StepContext] = None) -> StepReport:
+        """One resource-aware backend step."""
+        self._step += 1
+        ctx = context if context is not None else StepContext(trace)
+        plan = self.plan_selection(new_factors)
+        info = self.engine.update(new_values, new_factors, plan.selected,
                                   context=ctx)
-        ctx.extras["estimated_seconds"] = charged
+        ctx.extras["estimated_seconds"] = plan.charged
         return ctx.build_report(
             self._step,
             node_parents=self.engine.node_parents(info["fresh_sids"]),
-            selection_visits=estimator.visits,
-            deferred_variables=deferred,
+            selection_visits=plan.visits,
+            deferred_variables=plan.deferred,
         )
 
     def estimate(self) -> Values:

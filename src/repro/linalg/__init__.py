@@ -40,8 +40,10 @@ from repro.linalg.parallel import (
 from repro.linalg.plan import (
     NodePlan,
     PlanCache,
+    Signature,
     StepExecutor,
     compile_node_plan,
+    fold_hash,
     node_signature,
     plans_equal,
     tree_solve,
@@ -72,8 +74,10 @@ __all__ = [
     "resolve_workers",
     "NodePlan",
     "PlanCache",
+    "Signature",
     "StepExecutor",
     "compile_node_plan",
+    "fold_hash",
     "node_signature",
     "plans_equal",
     "tree_solve",

@@ -220,6 +220,7 @@ class MultifrontalCholesky:
         updates: Dict[int, np.ndarray] = {}
         for level in levels_from_parents(order, self._parents):
             tasks = []
+            priorities = []
             for sid in level:
                 node = symbolic.supernodes[sid]
                 plan, assigned = plans[sid]
@@ -230,7 +231,12 @@ class MultifrontalCholesky:
                     lambda p=plan, h=hessians, c=child_updates,
                     t=traces[sid]:
                     executor.factorize_node(p, h, c, self.damping, t))
-            results = executor.run_level(tasks, self.level_stats)
+                # Largest front first: the level's straggler starts
+                # earliest (m * front^2 ~ the partial-factorize flops).
+                priorities.append(
+                    float(plan.m) * plan.front_size * plan.front_size)
+            results = executor.run_level(tasks, self.level_stats,
+                                         priorities)
             for sid, (l_a, l_b, c_update) in zip(level, results):
                 self._l_a[sid] = l_a
                 self._l_b[sid] = l_b

@@ -164,20 +164,35 @@ class ParallelStepExecutor(StepExecutor):
         self.workers = resolve_workers(workers)
 
     def run_level(self, tasks: Sequence[Callable[[], object]],
-                  stats: Optional[LevelStats] = None) -> List[object]:
+                  stats: Optional[LevelStats] = None,
+                  priorities: Optional[Sequence[float]] = None,
+                  ) -> List[object]:
         """Run one dependency level's tasks; barrier before returning.
 
-        Results come back in submission order.  A raising task
-        propagates the earliest exception in submission order — after
-        every task of the level has finished, so no worker ever races a
-        caller's post-barrier reduction.  Levels of width <= 1 (or a
-        serial executor) run inline.
+        Results come back in *task order* regardless of how the level
+        was scheduled.  ``priorities`` (parallel to ``tasks``) submits
+        the costliest fronts first — largest-front-first list
+        scheduling, so the level's straggler starts earliest and the
+        barrier closes sooner.  Ties (and the unprioritized default)
+        keep task order.  Execution order within a level is
+        result-independent (tasks are mutually independent by
+        construction), so prioritization cannot change a single bit of
+        any caller's output.  A raising task propagates the earliest
+        exception in task order — after every task of the level has
+        finished, so no worker ever races a caller's post-barrier
+        reduction.  Levels of width <= 1 (or a serial executor) run
+        inline, in task order.
         """
         if self.workers <= 1 or len(tasks) <= 1:
             return [task() for task in tasks]
         pool = shared_pool(self.workers)
         start = time.perf_counter()
-        futures = [pool.submit(_timed_call, task) for task in tasks]
+        order = range(len(tasks))
+        if priorities is not None:
+            order = sorted(order, key=lambda i: (-priorities[i], i))
+        futures: List[object] = [None] * len(tasks)
+        for i in order:
+            futures[i] = pool.submit(_timed_call, tasks[i])
         results: List[object] = []
         task_seconds = 0.0
         error: Optional[BaseException] = None
@@ -230,12 +245,20 @@ def parallel_tree_solve(
     * Traces: per-node traces are pre-created in entries order (the
       serial creation order) and each node is recorded by exactly one
       task per sweep.
+
+    Within each level, tasks are submitted largest-front-first
+    (``l_a.size + l_b.size`` as the cost proxy) so the level's
+    straggler starts earliest; see :meth:`ParallelStepExecutor.run_level`.
     """
     order = [entry[0] for entry in entries]
     index_of = {sid: i for i, sid in enumerate(order)}
     levels = levels_from_parents(order, parents)
     node_traces = [trace.node(sid) if trace is not None else None
                    for sid in order]
+
+    def _cost(i: int) -> float:
+        _sid, l_a, l_b, _own, _row = entries[i]
+        return float(l_a.size + (l_b.size if l_b is not None else 0))
 
     carry = np.zeros(total)
     ys: List[Optional[np.ndarray]] = [None] * len(entries)
@@ -250,11 +273,13 @@ def parallel_tree_solve(
                 if spreads[i] is not None:
                     carry[entries[i][4]] += spreads[i]
         tasks = []
+        priorities = []
         for sid in level:
             i = index_of[sid]
             tasks.append(lambda i=i: _forward_task(
                 entries[i], rhs_flat, carry, node_traces[i]))
-        results = executor.run_level(tasks, stats)
+            priorities.append(_cost(i))
+        results = executor.run_level(tasks, stats, priorities)
         for sid, (y, spread) in zip(level, results):
             i = index_of[sid]
             ys[i] = y
@@ -264,11 +289,13 @@ def parallel_tree_solve(
     x_flat = np.zeros(total)
     for level in reversed(levels):
         tasks = []
+        priorities = []
         for sid in level:
             i = index_of[sid]
             tasks.append(lambda i=i: _backward_task(
                 entries[i], ys[i], x_flat, node_traces[i]))
-        executor.run_level(tasks, stats)
+            priorities.append(_cost(i))
+        executor.run_level(tasks, stats, priorities)
     return x_flat
 
 

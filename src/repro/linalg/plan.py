@@ -28,13 +28,19 @@ Executing a plan reproduces the legacy per-factor loop *exactly*:
 Cache correctness
 -----------------
 Plans are keyed by the node's stable head position (engine) or supernode
-id (batch solver) and validated against a full structural *signature* —
+id (batch solver) and validated against a structural *signature* —
 positions, row pattern, assembled factors, and the (positions, pattern)
 of every child.  Any structural change misses and recompiles; a stale
-plan can never execute.  Under an installed
-:func:`repro.validate.current_auditor`, every cache hit is additionally
-re-verified against a fresh recompile (the ``plan-consistency``
-invariant).
+plan can never execute.  A :class:`Signature` carries a precomputed
+64-bit hash so a cache hit costs one integer compare — O(1) in the
+node's factor count — while the full structural tuple (``parts``) is
+optional payload: when both sides carry parts they are deep-compared
+after the hash matches (counted in ``PlanCache.deep_compares``), and the
+engine's production path deliberately omits parts, trusting the hash.
+Under an installed :func:`repro.validate.current_auditor`, every cache
+hit is additionally re-verified against a fresh recompile (the
+``plan-consistency`` invariant), which bounds the exposure of the
+hash-only fast path to a hash collision between audits.
 """
 
 from __future__ import annotations
@@ -47,18 +53,82 @@ from repro.linalg.frontal import factorize_front, front_offsets, \
     solve_lower_triangular
 from repro.linalg.trace import NodeTrace, OpKind, OpTrace
 
-#: A plan signature: (positions, pattern, factor part, child part).
-#: Opaque to this module beyond equality — callers decide how to
-#: identify factors (the engine uses graph indices, the batch solver
-#: uses (index, positions, residual_dim) triples).
-Signature = Tuple[tuple, tuple, tuple, tuple]
+
+class Signature:
+    """Structural identity of one supernode's elimination step.
+
+    ``hash`` is the precomputed identity actually compared on the cache
+    hot path; ``parts`` is the optional full structural tuple
+    ``(positions, pattern, factor part, child part)`` — opaque to this
+    module beyond equality; callers decide how to identify factors (the
+    engine uses ``(graph index, positions, residual_dim)`` triples, the
+    batch solver ``(assembly index, positions, residual_dim)``).  A
+    ``hash`` of None (the stale marker) never matches anything with a
+    real hash.  Raw 4-tuples are accepted anywhere a Signature is (they
+    are wrapped via :meth:`of`), so legacy callers keep working.
+    """
+
+    __slots__ = ("hash", "parts")
+
+    def __init__(self, hash_: Optional[int],
+                 parts: Optional[tuple] = None):
+        self.hash = hash_
+        self.parts = parts
+
+    @classmethod
+    def of(cls, parts: tuple) -> "Signature":
+        parts = tuple(parts)
+        return cls(hash(parts), parts)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Signature):
+            if isinstance(other, tuple):
+                other = Signature.of(other)
+            else:
+                return NotImplemented
+        if self.hash is None or other.hash is None:
+            # Stale marker: only equal to another stale marker with the
+            # same parts (preserves the legacy tuple semantics).
+            return (self.hash is None and other.hash is None
+                    and self.parts == other.parts)
+        if self.hash != other.hash:
+            return False
+        if self.parts is not None and other.parts is not None:
+            return self.parts == other.parts
+        return True
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:
+        return (f"Signature(hash={self.hash!r}, "
+                f"parts={'...' if self.parts is not None else None})")
+
+
+_HASH_MASK = (1 << 64) - 1
+_HASH_PRIME = 0x100000001B3
+
+
+def fold_hash(seed: int, value: int) -> int:
+    """Order-dependent 64-bit hash chaining (an FNV-style fold).
+
+    Used to maintain signature hashes *incrementally* (the engine folds
+    per-factor fragments into per-position running hashes at
+    registration time) so building a node's signature never walks its
+    factor list.  Deterministic across processes for integer payloads —
+    a requirement for cross-session plan sharing, where two engines must
+    derive the same hash for the same structure.
+    """
+    return ((seed ^ (value & _HASH_MASK)) * _HASH_PRIME) & _HASH_MASK
 
 
 def node_signature(positions: Sequence[int], pattern: Sequence[int],
                    factor_sig: Sequence, child_sig: Sequence) -> Signature:
-    """Structural identity of one supernode's elimination step."""
-    return (tuple(positions), tuple(pattern), tuple(factor_sig),
-            tuple(child_sig))
+    """Structural identity of one supernode's elimination step (with its
+    hash precomputed once, at build time)."""
+    return Signature.of((tuple(positions), tuple(pattern),
+                         tuple(factor_sig), tuple(child_sig)))
 
 
 class NodePlan:
@@ -155,6 +225,8 @@ def compile_node_plan(
         The row pattern of each child whose update matrix is
         extend-added, in extend-add order.
     """
+    if not isinstance(signature, Signature):
+        signature = Signature.of(tuple(signature))
     offsets, m, front_size = front_offsets(positions, pattern, dims)
 
     factor_ids = []
@@ -197,10 +269,10 @@ def compile_node_plan(
     )
 
 
-#: Signature that can never equal a real one (real factor/child parts
-#: hold tuples of ints/tuples): marks plans whose frontal scatter
+#: Signature that can never equal a real one (its hash is None, which
+#: no built signature carries): marks plans whose frontal scatter
 #: indices went stale after a state permutation.
-STALE_SIGNATURE: Signature = (("__reordered__",),) * 4
+STALE_SIGNATURE: Signature = Signature(None, (("__reordered__",),) * 4)
 
 
 def reindexed_plan(plan: NodePlan, pattern_idx: np.ndarray,
@@ -259,28 +331,51 @@ class PlanCache:
     Keys are caller-chosen stable node identities (the engine uses the
     head elimination position, which survives supernode teardown and
     rebuild; the batch solver uses the supernode id).  A lookup only
-    hits when the cached plan's full signature matches, so entries made
+    hits when the cached plan's signature matches, so entries made
     stale by ``_rebuild_supernodes`` are recompiled rather than ever
     being executed — no explicit invalidation pass is needed, and the
     cache stays bounded by the number of node identities.
+
+    The hit path compares precomputed signature hashes — one integer
+    compare, O(1) in the node's factor count.  ``deep_compares`` counts
+    the lookups that additionally walked the full structural tuples
+    (only when *both* the probe and the cached plan carry parts — e.g.
+    under the auditor); the engine's production probes are hash-only,
+    so the counter staying at zero is the fast path's regression guard.
+
+    A cache may be shared across engine instances (the serving fleet
+    shares one per fleet): signatures cover per-factor geometry
+    ``(index, positions, residual_dim)``, not just factor identity, so
+    a hit from another session is structurally interchangeable.
     """
 
-    __slots__ = ("_plans", "hits", "misses", "compiles")
+    __slots__ = ("_plans", "hits", "misses", "compiles", "deep_compares")
 
     def __init__(self):
         self._plans: Dict[object, NodePlan] = {}
         self.hits = 0
         self.misses = 0
         self.compiles = 0
+        self.deep_compares = 0
 
     def __len__(self) -> int:
         return len(self._plans)
 
     def lookup(self, key, signature: Signature) -> Optional[NodePlan]:
         plan = self._plans.get(key)
-        if plan is not None and plan.signature == signature:
-            self.hits += 1
-            return plan
+        if plan is not None:
+            if not isinstance(signature, Signature):
+                signature = Signature.of(tuple(signature))
+            cached = plan.signature
+            if cached.hash is not None and cached.hash == signature.hash:
+                if (cached.parts is not None
+                        and signature.parts is not None):
+                    self.deep_compares += 1
+                    if cached.parts != signature.parts:
+                        self.misses += 1
+                        return None
+                self.hits += 1
+                return plan
         self.misses += 1
         return None
 
@@ -297,6 +392,10 @@ class PlanCache:
 
     def counters(self) -> Tuple[int, int, int]:
         return self.hits, self.misses, self.compiles
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        """All four counters (per-session attribution in the fleet)."""
+        return self.hits, self.misses, self.compiles, self.deep_compares
 
 
 class StepExecutor:

@@ -1,0 +1,34 @@
+"""Multi-tenant serving layer: one scheduler, many SLAM sessions.
+
+See :mod:`repro.serving.fleet` for the session multiplexer,
+:mod:`repro.serving.admission` for the overload controller and
+:mod:`repro.serving.bench` for the fleet-vs-isolated benchmark harness.
+"""
+
+from repro.serving.admission import OverloadController
+from repro.serving.bench import (
+    BenchResult,
+    compare_snapshots,
+    default_solver_factory,
+    fleet_workload,
+    run_fleet,
+    run_isolated,
+    session_workload,
+    snapshot_estimate,
+)
+from repro.serving.fleet import FleetConfig, SessionFleet, SessionHandle
+
+__all__ = [
+    "BenchResult",
+    "FleetConfig",
+    "OverloadController",
+    "SessionFleet",
+    "SessionHandle",
+    "compare_snapshots",
+    "default_solver_factory",
+    "fleet_workload",
+    "run_fleet",
+    "run_isolated",
+    "session_workload",
+    "snapshot_estimate",
+]

@@ -1,0 +1,165 @@
+"""Serving benchmark harness: fleet vs. isolated-session looping.
+
+Builds a fleet workload of *identical-topology* SE(2) trajectories —
+every session walks the same chain with the same deterministic loop
+closures, but its own measurement noise — mirroring a deployment that
+serves one robot model over one map family.  Identical topology is
+what makes the shared plan cache sing: after the first session compiles
+a step's plans, the other ``N - 1`` sessions hit them (signatures cover
+the per-factor geometry, so the hits are structurally sound), and the
+fused SoA linearization batches ``N`` sessions' same-shaped factor
+groups into one kernel call.
+
+``run_isolated`` and ``run_fleet`` drive the *same* workload through
+plain per-session ``update()`` loops and through :class:`~repro.
+serving.fleet.SessionFleet` respectively; the returned estimate
+snapshots must match bit for bit (``atol=0``) whenever degradation is
+off — fusion and sharing are pure execution-strategy changes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.pose_graph import TimeStep
+from repro.factorgraph.factors import BetweenFactorSE2, PriorFactorSE2
+from repro.factorgraph.noise import IsotropicNoise
+from repro.geometry.se2 import SE2
+from repro.serving.fleet import FleetConfig, SessionFleet
+from repro.solvers.base import StepReport
+from repro.solvers.isam2 import ISAM2
+
+NOISE2 = IsotropicNoise(3, 0.1)
+
+#: Deterministic closure cadence: step ``i`` closes back to ``i - 4``
+#: every fifth step — the same edge set in every session.
+_CLOSURE_EVERY = 5
+_CLOSURE_SPAN = 4
+
+
+def session_workload(session_seed: int, num_steps: int) -> List[TimeStep]:
+    """One session's trajectory: shared topology, private noise."""
+    rng = np.random.default_rng(1_000_003 + session_seed)
+    steps = [TimeStep(key=0, guess=SE2(),
+                      factors=[PriorFactorSE2(0, SE2(), NOISE2)])]
+    for i in range(1, num_steps):
+        guess = SE2(i + float(rng.normal(0.0, 0.2)),
+                    float(rng.normal(0.0, 0.2)),
+                    float(rng.normal(0.0, 0.1)))
+        factors = [BetweenFactorSE2(i - 1, i, SE2(1.0, 0.0, 0.0), NOISE2)]
+        if i >= _CLOSURE_SPAN and i % _CLOSURE_EVERY == 0:
+            back = i - _CLOSURE_SPAN
+            factors.append(BetweenFactorSE2(
+                back, i, SE2(float(_CLOSURE_SPAN), 0.0, 0.0), NOISE2))
+        steps.append(TimeStep(key=i, guess=guess, factors=factors))
+    return steps
+
+
+def fleet_workload(num_sessions: int,
+                   num_steps: int) -> List[List[TimeStep]]:
+    """Per-session step lists, identical topology across sessions."""
+    return [session_workload(s, num_steps) for s in range(num_sessions)]
+
+
+def default_solver_factory(**overrides) -> Callable[[], ISAM2]:
+    """ISAM2 factory for the benchmark (plain solver: no budget noise
+    in the comparison — fleet vs. isolated is purely scheduling)."""
+    kwargs = dict(relin_threshold=0.1)
+    kwargs.update(overrides)
+    return lambda: ISAM2(**kwargs)
+
+
+def snapshot_estimate(solver) -> Dict[object, np.ndarray]:
+    """Current estimate as raw per-key SE(2) coordinate triples."""
+    estimate = solver.estimate()
+    return {key: np.array([pose.x, pose.y, pose.theta])
+            for key, pose in estimate.items()}
+
+
+class BenchResult:
+    """Estimates, reports and wall time of one benchmark arm."""
+
+    __slots__ = ("snapshots", "reports", "elapsed", "fleet")
+
+    def __init__(self, snapshots, reports, elapsed, fleet=None):
+        self.snapshots: Dict[int, Dict] = snapshots
+        self.reports: Dict[int, List[StepReport]] = reports
+        self.elapsed: float = elapsed
+        self.fleet: Optional[SessionFleet] = fleet
+
+    @property
+    def steps_completed(self) -> int:
+        return sum(len(reports) for reports in self.reports.values())
+
+    @property
+    def session_steps_per_second(self) -> float:
+        return self.steps_completed / max(self.elapsed, 1e-12)
+
+
+def run_isolated(workloads: List[List[TimeStep]],
+                 solver_factory: Callable) -> BenchResult:
+    """Baseline: each session is its own solver, stepped in a loop."""
+    solvers = [solver_factory() for _ in workloads]
+    reports: Dict[int, List[StepReport]] = {
+        s: [] for s in range(len(workloads))}
+    start = time.perf_counter()
+    for sid, steps in enumerate(workloads):
+        solver = solvers[sid]
+        for step in steps:
+            reports[sid].append(solver.update(
+                {step.key: step.guess}, step.factors))
+    elapsed = time.perf_counter() - start
+    snapshots = {sid: snapshot_estimate(solver)
+                 for sid, solver in enumerate(solvers)}
+    return BenchResult(snapshots, reports, elapsed)
+
+
+def run_fleet(workloads: List[List[TimeStep]],
+              solver_factory: Callable,
+              config: Optional[FleetConfig] = None,
+              ) -> Tuple[BenchResult, SessionFleet]:
+    """Fleet arm: all sessions multiplexed through one SessionFleet."""
+    fleet = SessionFleet(config)
+    for sid in range(len(workloads)):
+        fleet.add_session(str(sid), solver_factory())
+    reports: Dict[int, List[StepReport]] = {
+        s: [] for s in range(len(workloads))}
+    num_rounds = max(len(steps) for steps in workloads)
+    start = time.perf_counter()
+    for t in range(num_rounds):
+        inputs = {}
+        for sid, steps in enumerate(workloads):
+            if t < len(steps):
+                step = steps[t]
+                inputs[str(sid)] = ({step.key: step.guess}, step.factors)
+        for session_id, report in fleet.step(inputs).items():
+            reports[int(session_id)].append(report)
+    elapsed = time.perf_counter() - start
+    snapshots = {int(sid): snapshot_estimate(handle.solver)
+                 for sid, handle in fleet.sessions.items()
+                 if handle.alive}
+    result = BenchResult(snapshots, reports, elapsed, fleet)
+    return result, fleet
+
+
+def compare_snapshots(a: Dict[int, Dict], b: Dict[int, Dict],
+                      atol: float = 0.0) -> None:
+    """Raise unless both arms produced identical per-session estimates."""
+    if set(a) != set(b):
+        raise AssertionError(
+            f"session sets differ: {sorted(a)} vs {sorted(b)}")
+    for sid in sorted(a):
+        if set(a[sid]) != set(b[sid]):
+            raise AssertionError(f"session {sid}: key sets differ")
+        for key in a[sid]:
+            if atol == 0.0:
+                if not np.array_equal(a[sid][key], b[sid][key]):
+                    raise AssertionError(
+                        f"session {sid} key {key}: "
+                        f"{a[sid][key]} != {b[sid][key]}")
+            else:
+                np.testing.assert_allclose(a[sid][key], b[sid][key],
+                                           atol=atol, rtol=0.0)

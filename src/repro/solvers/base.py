@@ -49,3 +49,25 @@ class StepReport:
     deferred_variables: int = 0
     node_parents: Optional[ParentMap] = None
     extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric view: the fixed counters plus *every* extras key.
+
+        Extras are merged last and verbatim — a key written into
+        ``StepContext.extras`` by any layer (solver phases, the serving
+        fleet's ``session_id``/``shed_relin_count``/``fleet_plan_hits``
+        attribution) is never silently dropped, the regression class of
+        the PR 8 ``StepLatency.utilization`` bug.
+        """
+        out: Dict[str, float] = {
+            "step": float(self.step),
+            "relinearized_variables": float(self.relinearized_variables),
+            "relinearized_factors": float(self.relinearized_factors),
+            "affected_columns": float(self.affected_columns),
+            "refactored_nodes": float(self.refactored_nodes),
+            "selection_visits": float(self.selection_visits),
+            "deferred_variables": float(self.deferred_variables),
+        }
+        for key, value in self.extras.items():
+            out[key] = float(value)
+        return out

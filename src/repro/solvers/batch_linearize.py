@@ -10,6 +10,14 @@ whitens all residuals/Jacobians with stacked matmuls, and forms every
 :class:`~repro.linalg.cholesky.FactorContribution` objects the
 downstream supernodal machinery expects.
 
+Cross-session fusion: every kernel is written against a *per-factor*
+values sequence (``values_seq[i]`` holds factor ``i``'s variables), so a
+batch may mix factors from independent SLAM sessions — a
+``BetweenFactorSE2`` row does not care which session it came from.
+:func:`linearize_fused` groups across a list of
+:class:`LinearizeRequest` objects and scatters contributions back per
+request; :func:`linearize_many` is the single-request special case.
+
 Bit-identity contract
 ---------------------
 The batched path must reproduce the scalar path *bit for bit* (the
@@ -37,7 +45,7 @@ types keep working unchanged.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
@@ -70,22 +78,22 @@ _BATCHABLE_NOISE = (GaussianNoise, DiagonalNoise, IsotropicNoise,
                     HuberNoise, CauchyNoise)
 
 
-def _gather_se2(factors: Sequence[Factor], values, slot: int):
-    poses = [values.at(f.keys[slot]) for f in factors]
+def _gather_se2(factors: Sequence[Factor], values_seq, slot: int):
+    poses = [v.at(f.keys[slot]) for f, v in zip(factors, values_seq)]
     t = np.array([p.t for p in poses])
     theta = np.array([p.rot.theta for p in poses])
     return t, theta
 
 
-def _gather_se3(factors: Sequence[Factor], values, slot: int):
-    poses = [values.at(f.keys[slot]) for f in factors]
+def _gather_se3(factors: Sequence[Factor], values_seq, slot: int):
+    poses = [v.at(f.keys[slot]) for f, v in zip(factors, values_seq)]
     rot = np.array([p.rot.mat for p in poses])
     t = np.array([p.t for p in poses])
     return rot, t
 
 
-def _prior_se2(factors: Sequence[Factor], values):
-    t_x, th_x = _gather_se2(factors, values, 0)
+def _prior_se2(factors: Sequence[Factor], values_seq):
+    t_x, th_x = _gather_se2(factors, values_seq, 0)
     t_p = np.array([f.prior.t for f in factors])
     th_p = np.array([f.prior.rot.theta for f in factors])
     raw = se2_ops.batch_local(t_p, th_p, t_x, th_x)
@@ -96,9 +104,9 @@ def _prior_se2(factors: Sequence[Factor], values):
     return [jac], raw
 
 
-def _between_se2(factors: Sequence[Factor], values):
-    t1, th1 = _gather_se2(factors, values, 0)
-    t2, th2 = _gather_se2(factors, values, 1)
+def _between_se2(factors: Sequence[Factor], values_seq):
+    t1, th1 = _gather_se2(factors, values_seq, 0)
+    t2, th2 = _gather_se2(factors, values_seq, 1)
     t_m = np.array([f.measured.t for f in factors])
     th_m = np.array([f.measured.rot.theta for f in factors])
     rel_t, rel_th = se2_ops.batch_between(t1, th1, t2, th2)
@@ -117,17 +125,17 @@ def _between_se2(factors: Sequence[Factor], values):
     return [jac1, jac2], raw
 
 
-def _prior_se3(factors: Sequence[Factor], values):
-    rot_x, t_x = _gather_se3(factors, values, 0)
+def _prior_se3(factors: Sequence[Factor], values_seq):
+    rot_x, t_x = _gather_se3(factors, values_seq, 0)
     rot_p = np.array([f.prior.rot.mat for f in factors])
     t_p = np.array([f.prior.t for f in factors])
     raw = se3_ops.batch_log(*se3_ops.batch_between(rot_p, t_p, rot_x, t_x))
     return [batch_se3_right_jacobian_inverse(raw)], raw
 
 
-def _between_se3(factors: Sequence[Factor], values):
-    rot1, t1 = _gather_se3(factors, values, 0)
-    rot2, t2 = _gather_se3(factors, values, 1)
+def _between_se3(factors: Sequence[Factor], values_seq):
+    rot1, t1 = _gather_se3(factors, values_seq, 0)
+    rot2, t2 = _gather_se3(factors, values_seq, 1)
     # ``_measured_inv.rot.mat`` is a transposed view (``SO3(mat.T)`` from
     # ``measured.inverse()``); keep that layout so the compose matmul hits
     # the same BLAS path as the scalar code (see ``_assemble``).
@@ -143,17 +151,18 @@ def _between_se3(factors: Sequence[Factor], values):
     return [jac1, jr_inv], raw
 
 
-def _prior_point2(factors: Sequence[Factor], values):
-    v = np.array([values.at(f.keys[0]).v for f in factors])
+def _prior_point2(factors: Sequence[Factor], values_seq):
+    v = np.array([v.at(f.keys[0]).v
+                  for f, v in zip(factors, values_seq)])
     prior = np.array([f.prior.v for f in factors])
     raw = v - prior
     jac = np.broadcast_to(np.eye(2), (len(factors), 2, 2))
     return [jac], raw
 
 
-def _bearing_range(factors: Sequence[Factor], values):
-    t_pose, th = _gather_se2(factors, values, 0)
-    pv = np.array([values.at(f.keys[1]).v for f in factors])
+def _bearing_range(factors: Sequence[Factor], values_seq):
+    t_pose, th = _gather_se2(factors, values_seq, 0)
+    pv = np.array([v.at(f.keys[1]).v for f, v in zip(factors, values_seq)])
     inv_rot = batch_matrix(batch_wrap_angle(-th))
     d = mv(inv_rot, pv - t_pose)
     # ``np.arctan2`` is not bit-equal to ``math.atan2``; evaluate the
@@ -193,8 +202,14 @@ _KERNELS = {
 
 def _assemble(factors: Sequence[Factor], jac_blocks: List[np.ndarray],
               raw: np.ndarray,
-              position_of: Dict[Key, int]) -> List[FactorContribution]:
-    """Whiten a group and form every ``J^T J`` / ``J^T b`` in one pass."""
+              pos_seq: Sequence[Dict[Key, int]],
+              ) -> List[FactorContribution]:
+    """Whiten a group and form every ``J^T J`` / ``J^T b`` in one pass.
+
+    ``pos_seq[i]`` is factor ``i``'s own position map — factors from
+    different sessions carry different maps (and may collide on keys),
+    so positions are always resolved per factor.
+    """
     n = len(factors)
     # ``GaussianNoise.sqrt_info`` is a transposed view (``cholesky(...).T``)
     # and BLAS picks its kernel from operand strides, so whitening through
@@ -213,12 +228,15 @@ def _assemble(factors: Sequence[Factor], jac_blocks: List[np.ndarray],
     rhs = (-scales)[:, None] * mv(sqrt_info, raw)
     if len(white) == 1:
         stacked = white[0]
-        positions = [[position_of[f.keys[0]]] for f in factors]
+        positions = [[pos_of[f.keys[0]]]
+                     for f, pos_of in zip(factors, pos_seq)]
     else:
         b0, b1 = white
         d0, d1 = b0.shape[2], b1.shape[2]
-        pos0 = [position_of[f.keys[0]] for f in factors]
-        pos1 = [position_of[f.keys[1]] for f in factors]
+        pos0 = [pos_of[f.keys[0]]
+                for f, pos_of in zip(factors, pos_seq)]
+        pos1 = [pos_of[f.keys[1]]
+                for f, pos_of in zip(factors, pos_seq)]
         stacked = np.empty((n, raw.shape[1], d0 + d1))
         swap = np.array([p0 > p1 for p0, p1 in zip(pos0, pos1)])
         keep = ~swap
@@ -247,30 +265,85 @@ def batchable(factor: Factor) -> bool:
             and len(set(factor.keys)) == len(factor.keys))
 
 
+class LinearizeRequest(NamedTuple):
+    """One session's linearization work: factors + the values and
+    position map they are linearized against."""
+
+    factors: Sequence[Factor]
+    values: object
+    position_of: Dict[Key, int]
+
+
+class LinearizeResult(NamedTuple):
+    """Per-request output of :func:`linearize_fused` (contributions in
+    the request's factor order)."""
+
+    contributions: List[FactorContribution]
+    n_batched: int
+    n_fallback: int
+
+
+def linearize_fused(
+    requests: Sequence[LinearizeRequest],
+) -> List[LinearizeResult]:
+    """Linearize several sessions' factor lists as fused SoA batches.
+
+    Same-typed batchable factors from *all* requests share one kernel
+    invocation (the per-batch fixed cost — array gathers, stacked
+    matmul dispatch — is paid once per type instead of once per type
+    per session); contributions scatter back per request, in each
+    request's factor order.  Per-factor results are bit-identical to
+    running each request through :func:`linearize_many` alone: every
+    kernel row depends only on its own factor's operands (the existing
+    batched-vs-scalar contract), so group composition cannot perturb a
+    single bit.
+
+    A raising factor (kernel or scalar fallback) fails the whole fused
+    call; callers needing per-request fault isolation (the serving
+    fleet) retry request by request.
+    """
+    requests = [LinearizeRequest(list(req.factors), req.values,
+                                 req.position_of) for req in requests]
+    outs: List[List[FactorContribution]] = [
+        [None] * len(req.factors) for req in requests]
+    n_fallback = [0] * len(requests)
+    groups: Dict[type, List[Tuple[int, int]]] = {}
+    fallbacks: List[Tuple[int, int]] = []
+    for r, req in enumerate(requests):
+        for i, factor in enumerate(req.factors):
+            if batchable(factor):
+                groups.setdefault(type(factor), []).append((r, i))
+            else:
+                fallbacks.append((r, i))
+                n_fallback[r] += 1
+    for ftype, slots in groups.items():
+        group = [requests[r].factors[i] for r, i in slots]
+        values_seq = [requests[r].values for r, _i in slots]
+        pos_seq = [requests[r].position_of for r, _i in slots]
+        jac_blocks, raw = _KERNELS[ftype](group, values_seq)
+        for (r, i), contribution in zip(
+                slots, _assemble(group, jac_blocks, raw, pos_seq)):
+            outs[r][i] = contribution
+    for r, i in fallbacks:
+        req = requests[r]
+        blocks, rhs = req.factors[i].linearize(req.values)
+        outs[r][i] = contribution_from_blocks(req.position_of, blocks, rhs)
+    return [
+        LinearizeResult(outs[r], len(requests[r].factors) - n_fallback[r],
+                        n_fallback[r])
+        for r in range(len(requests))
+    ]
+
+
 def linearize_many(
     factors: Iterable[Factor], values, position_of: Dict[Key, int],
 ) -> Tuple[List[FactorContribution], int, int]:
     """Linearize ``factors`` at ``values``, batching homogeneous groups.
 
     Returns ``(contributions, n_batched, n_fallback)`` with the
-    contributions in the same order as the input factors.
+    contributions in the same order as the input factors.  The
+    single-request special case of :func:`linearize_fused`.
     """
-    factors = list(factors)
-    contributions: List[FactorContribution] = [None] * len(factors)
-    groups: Dict[type, List[int]] = {}
-    fallback: List[int] = []
-    for i, factor in enumerate(factors):
-        if batchable(factor):
-            groups.setdefault(type(factor), []).append(i)
-        else:
-            fallback.append(i)
-    for ftype, indices in groups.items():
-        group = [factors[i] for i in indices]
-        jac_blocks, raw = _KERNELS[ftype](group, values)
-        for i, contribution in zip(
-                indices, _assemble(group, jac_blocks, raw, position_of)):
-            contributions[i] = contribution
-    for i in fallback:
-        blocks, rhs = factors[i].linearize(values)
-        contributions[i] = contribution_from_blocks(position_of, blocks, rhs)
-    return contributions, len(factors) - len(fallback), len(fallback)
+    result = linearize_fused(
+        [LinearizeRequest(factors, values, position_of)])[0]
+    return result.contributions, result.n_batched, result.n_fallback

@@ -51,7 +51,16 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -70,15 +79,20 @@ from repro.linalg.parallel import (
 from repro.linalg.plan import (
     NodePlan,
     PlanCache,
+    Signature,
     compile_node_plan,
-    node_signature,
+    fold_hash,
     plans_equal,
     reindexed_plan,
     tree_solve,
 )
 from repro.linalg.trace import NodeTrace, OpTrace
 from repro.solvers.base import StepReport
-from repro.solvers.batch_linearize import linearize_many
+from repro.solvers.batch_linearize import (
+    LinearizeRequest,
+    LinearizeResult,
+    linearize_many,
+)
 from repro.state import BlockVector
 from repro.validate import current_auditor
 
@@ -96,12 +110,16 @@ class _Node:
 
     __slots__ = ("sid", "positions", "pattern", "l_a", "l_b", "c_update",
                  "y", "v", "plan", "pos_idx", "pattern_idx", "pattern_arr",
-                 "positions_arr", "pos_starts")
+                 "positions_arr", "pos_starts", "struct_hash")
 
     def __init__(self, sid: int, positions: List[int], pattern: List[int]):
         self.sid = sid
         self.positions = positions
         self.pattern = pattern
+        # Lazily computed hash of (positions, pattern) — the node's
+        # contribution to its parent's signature; reset to None whenever
+        # either list changes after first use (see _permute_node_pattern).
+        self.struct_hash: Optional[int] = None
         self.l_a: Optional[np.ndarray] = None
         self.l_b: Optional[np.ndarray] = None
         self.c_update: Optional[np.ndarray] = None
@@ -140,6 +158,11 @@ class IncrementalEngine:
         refactorize / back-substitution / marginal-solve phases (see
         :mod:`repro.linalg.parallel`); bit-identical to the serial
         path.  ``None`` reads ``REPRO_WORKERS`` (default 1 = serial).
+    plan_cache:
+        External :class:`~repro.linalg.plan.PlanCache` to use instead of
+        a private one — the serving fleet shares a single cache across
+        sessions (signatures cover per-factor geometry, so cross-engine
+        hits are sound).
     """
 
     #: Engine-supported ordering modes (batch policies don't apply online).
@@ -149,7 +172,8 @@ class IncrementalEngine:
                  wildfire_tol: float = 1e-5, damping: float = 0.0,
                  ordering: str = "chronological",
                  reorder_interval: int = 25, reorder_min_suffix: int = 8,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 plan_cache: Optional[PlanCache] = None):
         self.max_supernode_vars = int(max_supernode_vars)
         self.relax_fill = int(relax_fill)
         self.wildfire_tol = float(wildfire_tol)
@@ -179,6 +203,11 @@ class IncrementalEngine:
         self._parent: List[int] = []
         self._children_pos: Dict[int, List[int]] = {}
         self._factors_at: Dict[int, List[int]] = {}
+        # Per head position: running fold of the assembled factors'
+        # (index, positions, residual_dim) hashes, maintained at
+        # registration time so signature construction never walks a
+        # node's factor list (O(1) in factor count on the hit path).
+        self._fsig_at: Dict[int, int] = {}
         self._gradient = BlockVector()
         self._carry = BlockVector()
 
@@ -186,7 +215,7 @@ class IncrementalEngine:
         self.node_of: List[int] = []
         self._next_sid = 0
 
-        self._plans = PlanCache()
+        self._plans = plan_cache if plan_cache is not None else PlanCache()
         self._executor = ParallelStepExecutor(workers)
         self.workers = self._executor.workers
 
@@ -194,6 +223,21 @@ class IncrementalEngine:
     def plan_cache(self) -> PlanCache:
         """The engine's step-plan cache (counters used by tests/benchmarks)."""
         return self._plans
+
+    def set_plan_cache(self, cache: PlanCache) -> None:
+        """Swap in an external (possibly shared) plan cache.
+
+        Safe at any step boundary: plans already attached to live nodes
+        stay valid (a node owns its plan outright), and every lookup is
+        signature-validated, so foreign entries can never execute against
+        the wrong structure.
+        """
+        self._plans = cache
+
+    def set_executor(self, executor: ParallelStepExecutor) -> None:
+        """Swap in an external (possibly shared) step executor."""
+        self._executor = executor
+        self.workers = executor.workers
 
     # ------------------------------------------------------------------
     # public API
@@ -253,43 +297,47 @@ class IncrementalEngine:
         plus the set of refactored supernode ids.  Phase counters and the
         op trace accumulate on ``context`` (one is created from the legacy
         ``trace`` argument when not supplied).
+
+        Written over the split-phase :class:`PendingStep` protocol (the
+        serving fleet drives the same phases with its linearization and
+        level scheduling fused across sessions), executing each phase
+        immediately — bit-identical to the historical inline loop.
         """
         ctx = context if context is not None else StepContext(trace)
-        affected: Set[int] = set()
-        affected |= self._add_variables(new_values)
-        affected |= self._add_factors(new_factors, ctx)
-        relin_factors, relin_touched = self._relinearize(relin_keys, ctx)
-        affected |= relin_touched
+        pending = self.update_begin(new_values, new_factors, ctx)
+        request = pending.ingest_request()
+        if request is not None:
+            start = time.perf_counter()
+            result = LinearizeResult(*linearize_many(
+                request.factors, request.values, request.position_of))
+            pending.apply_ingest(result, time.perf_counter() - start)
+        request = pending.relin_request(relin_keys)
+        if request is not None:
+            start = time.perf_counter()
+            result = LinearizeResult(*linearize_many(
+                request.factors, request.values, request.position_of))
+            pending.apply_relin(result, time.perf_counter() - start)
+        pending.prepare_solve()
+        pending.refactorize()
+        return pending.finish()
 
-        self._steps_since_reorder += 1
-        if (self.ordering == "constrained_colamd" and affected
-                and self._steps_since_reorder >= self.reorder_interval
-                and self.num_positions - min(affected)
-                >= self.reorder_min_suffix):
-            affected = self._reorder_suffix(affected)
-            self._steps_since_reorder = 0
+    def update_begin(self, new_values: Dict[Key, object],
+                     new_factors: Sequence[Factor],
+                     context: Optional[StepContext] = None,
+                     ) -> "PendingStep":
+        """Open a split-phase step: add variables, register factors.
 
-        sym_affected = self._resolve_structure(affected)
-        fresh = self._rebuild_supernodes(sym_affected)
-        self._refactorize(fresh, ctx)
-        self._back_substitute(fresh, ctx)
-
-        ctx.relin_variables += len(set(relin_keys))
-        ctx.relin_factors += relin_factors
-        ctx.symbolic += len(sym_affected)
-        ctx.numeric += len(fresh)
-        shape = self.tree_shape()
-        ctx.extras["tree_height"] = shape["height"]
-        ctx.extras["tree_max_width"] = shape["max_width"]
-        ctx.extras["tree_fill_nnz"] = shape["fill_nnz"]
-
-        return {
-            "relinearized_variables": len(set(relin_keys)),
-            "relinearized_factors": relin_factors,
-            "affected_columns": len(sym_affected),
-            "refactored_nodes": len(fresh),
-            "fresh_sids": fresh,
-        }
+        Returns the :class:`PendingStep` whose remaining phases the
+        caller must drive in protocol order (see its docstring).
+        """
+        ctx = context if context is not None else StepContext(None)
+        pending = PendingStep(self, ctx)
+        pending.affected |= self._add_variables(new_values)
+        registered, indices = self._register_factors(new_factors)
+        pending.affected |= registered
+        pending.new_factors = list(new_factors)
+        pending.new_indices = indices
+        return pending
 
     # ------------------------------------------------------------------
     # phase A/B/C: variables, factors, relinearization
@@ -318,8 +366,10 @@ class IncrementalEngine:
             affected.add(pos)
         return affected
 
-    def _add_factors(self, new_factors: Sequence[Factor],
-                     ctx: StepContext) -> Set[int]:
+    def _register_factors(
+            self, new_factors: Sequence[Factor],
+    ) -> Tuple[Set[int], List[int]]:
+        """Add factors to the graph/structure (no numerics yet)."""
         affected: Set[int] = set()
         indices: List[int] = []
         for factor in new_factors:
@@ -330,50 +380,51 @@ class IncrementalEngine:
             self._factors_at.setdefault(positions[0], []).append(index)
             affected.update(positions)
             indices.append(index)
-        if not indices:
-            return affected
-        start = time.perf_counter()
-        contributions, n_batched, n_fallback = linearize_many(
-            new_factors, self.theta, self.pos_of)
-        ctx.lin_seconds += time.perf_counter() - start
-        ctx.lin_batched += n_batched
-        ctx.lin_fallback += n_fallback
+        return affected, indices
+
+    def _apply_new_contributions(
+            self, indices: Sequence[int],
+            contributions: Sequence[FactorContribution]) -> None:
         for index, contrib in zip(indices, contributions):
             self._lin[index] = contrib
             self._apply_gradient(contrib, sign=1.0)
-        return affected
+            head = contrib.positions[0]
+            self._fsig_at[head] = fold_hash(
+                self._fsig_at.get(head, 0),
+                hash((index, tuple(contrib.positions),
+                      contrib.residual_dim)))
 
-    def _relinearize(self, relin_keys: Iterable[Key],
-                     ctx: StepContext) -> Tuple[int, Set[int]]:
+    def _retract_keys(
+            self, keys: Set[Key]) -> Tuple[Set[int], List[int]]:
+        """Move linearization points of ``keys`` to the current estimate;
+        returns the touched positions and the affected factor indices."""
         touched: Set[int] = set()
         factor_set: Set[int] = set()
-        for key in set(relin_keys):
+        for key in keys:
             pos = self.pos_of[key]
             self.theta.update(key, self.theta.at(key).retract(
                 self.delta[pos]))
             self.delta.zero_block(pos)
             touched.add(pos)
             factor_set.update(self.graph.factors_of(key))
-        indices = list(factor_set)
-        if not indices:
-            return 0, touched
-        start = time.perf_counter()
-        contributions, n_batched, n_fallback = linearize_many(
-            [self.graph.factor(i) for i in indices], self.theta,
-            self.pos_of)
-        ctx.lin_seconds += time.perf_counter() - start
-        ctx.lin_batched += n_batched
-        ctx.lin_fallback += n_fallback
+        return touched, list(factor_set)
+
+    def _apply_relin_contributions(
+            self, indices: Sequence[int],
+            contributions: Sequence[FactorContribution]) -> Set[int]:
         # The gradient updates stay interleaved per factor (-old, +new, in
         # factor order) so the float accumulation order — and thus every
-        # bit of the gradient — matches the per-factor path.
+        # bit of the gradient — matches the per-factor path.  Positions
+        # and residual dims are unchanged by relinearization, so the
+        # per-position signature fragments stay valid.
+        touched: Set[int] = set()
         for index, new in zip(indices, contributions):
             old = self._lin[index]
             self._apply_gradient(old, sign=-1.0)
             self._lin[index] = new
             self._apply_gradient(new, sign=1.0)
             touched.update(new.positions)
-        return len(factor_set), touched
+        return touched
 
     def _apply_gradient(self, contrib: FactorContribution,
                         sign: float) -> None:
@@ -502,13 +553,21 @@ class IncrementalEngine:
             self._permute_contribution(contrib, perm, old_dims)
         # (4) Rebuild factor seeding wholesale (ascending graph index, so
         # assembly order — and float accumulation — is deterministic).
+        # The per-position signature fragments are refolded in the same
+        # order, against the permuted factor positions.
         self._a_struct = [set() for _ in range(n)]
         self._factors_at = {}
+        self._fsig_at = {}
         for index in sorted(self._lin):
-            positions = self._lin[index].positions
+            contrib = self._lin[index]
+            positions = contrib.positions
+            head = positions[0]
             if len(positions) > 1:
-                self._a_struct[positions[0]].update(positions[1:])
-            self._factors_at.setdefault(positions[0], []).append(index)
+                self._a_struct[head].update(positions[1:])
+            self._factors_at.setdefault(head, []).append(index)
+            self._fsig_at[head] = fold_hash(
+                self._fsig_at.get(head, 0),
+                hash((index, tuple(positions), contrib.residual_dim)))
         # (5) Prefix column structures survive as variable sets — only
         # suffix labels move; suffix columns are recomputed from scratch
         # by _resolve_structure (their parents reset to -1 keeps the
@@ -584,6 +643,7 @@ class IncrementalEngine:
             if node.v is not None:
                 node.v = node.v[scalar]
         node.pattern = sorted(new_labels)
+        node.struct_hash = None
         node.pattern_idx = self.delta.indices(node.pattern)
         node.pattern_arr = np.asarray(node.pattern, dtype=np.intp)
         node.plan = reindexed_plan(node.plan, node.pattern_idx,
@@ -681,28 +741,63 @@ class IncrementalEngine:
                     out.append(self.nodes[sid])
         return out
 
+    def _struct_hash(self, child: _Node) -> int:
+        h = child.struct_hash
+        if h is None:
+            h = hash((tuple(child.positions), tuple(child.pattern)))
+            child.struct_hash = h
+        return h
+
+    def _factor_ids_of(self, node: _Node) -> tuple:
+        return tuple(index for p in node.positions
+                     for index in self._factors_at.get(p, ()))
+
+    def _signature_parts(self, node: _Node, children: List[_Node]) -> tuple:
+        """Full structural tuple (audit payload; never on the hot path)."""
+        lin = self._lin
+        return (tuple(node.positions), tuple(node.pattern),
+                tuple((index, tuple(lin[index].positions),
+                       lin[index].residual_dim)
+                      for index in self._factor_ids_of(node)),
+                tuple((tuple(c.positions), tuple(c.pattern))
+                      for c in children))
+
     def _plan_for(self, node: _Node, children: List[_Node],
                   aud) -> NodePlan:
         """Resolve the node's compiled step: cache hit or recompile.
 
         The cache key is the node's head position (stable across
         teardown/rebuild); the signature covers everything the plan's
-        indices depend on, so any structural change — factor set,
-        pattern, child partition — misses and recompiles.
+        indices depend on — factor set (with per-factor positions and
+        residual dims, so cross-engine sharing is sound), pattern, child
+        partition — so any structural change misses and recompiles.
+
+        The probe signature is built from *precomputed fragments*: the
+        per-head-position factor folds (``_fsig_at``, maintained at
+        contribution-apply time) and each child's lazily cached
+        ``struct_hash``.  It never walks a factor list, so the hit path
+        is O(positions + children), independent of factor count; the
+        full structural tuple is only materialized under the auditor
+        (hash value is identical either way).
         """
-        factor_ids = tuple(index for p in node.positions
-                           for index in self._factors_at.get(p, ()))
-        signature = node_signature(
-            node.positions, node.pattern, factor_ids,
-            [(tuple(c.positions), tuple(c.pattern)) for c in children])
         key = node.positions[0]
+        sig_hash = fold_hash(
+            0, hash((tuple(node.positions), tuple(node.pattern))))
+        for p in node.positions:
+            sig_hash = fold_hash(sig_hash, self._fsig_at.get(p, 0))
+        for child in children:
+            sig_hash = fold_hash(sig_hash, self._struct_hash(child))
+        parts = (self._signature_parts(node, children)
+                 if aud is not None else None)
+        signature = Signature(sig_hash, parts)
         plan = self._plans.lookup(key, signature)
         if plan is None:
-            plan = self._compile_plan(node, factor_ids, children, signature)
+            plan = self._compile_plan(node, self._factor_ids_of(node),
+                                      children, signature)
             self._plans.store(key, plan)
         elif aud is not None:
-            fresh_plan = self._compile_plan(node, factor_ids, children,
-                                            signature)
+            fresh_plan = self._compile_plan(
+                node, self._factor_ids_of(node), children, signature)
             aud.check(plans_equal(plan, fresh_plan), "plan-consistency",
                       "cached step-plan must equal a fresh recompile",
                       sid=node.sid, head=key)
@@ -717,7 +812,24 @@ class IncrementalEngine:
              for index in factor_ids],
             [c.pattern for c in children], signature)
 
+    def refactorize_begin(self, fresh: List[int],
+                          ctx: StepContext) -> "PreparedRefactorize":
+        """Resolve plans for the fresh nodes; external level scheduling.
+
+        The serving fleet merges the returned levels across sessions
+        into shared :meth:`~repro.linalg.parallel.ParallelStepExecutor.
+        run_level` calls (fair-share: every session's level-k fronts
+        ride one dispatch); :meth:`PreparedRefactorize.run` is the
+        single-session driver.
+        """
+        return PreparedRefactorize(self, fresh, ctx)
+
     def _refactorize(self, fresh: List[int], ctx: StepContext) -> None:
+        if self._executor.workers > 1 and len(fresh) > 1:
+            prep = self.refactorize_begin(fresh, ctx)
+            prep.run(self._executor)
+            prep.finish()
+            return
         start = time.perf_counter()
         cache = self._plans
         hits0, misses0, compiles0 = cache.counters()
@@ -726,65 +838,8 @@ class IncrementalEngine:
         lin = self._lin
         fresh_nodes = sorted((self.nodes[sid] for sid in fresh),
                              key=lambda n: n.positions[0])
-        if executor.workers > 1 and len(fresh_nodes) > 1:
-            self._refactorize_parallel(fresh_nodes, ctx, aud)
-        else:
-            for node in fresh_nodes:
-                children = self._children_nodes(node)
-                plan = self._plan_for(node, children, aud)
-                node.plan = plan
-                node.pos_idx = plan.pos_idx
-                node.pattern_idx = plan.pattern_idx
-                node.pattern_arr = plan.pattern_arr
-                node.positions_arr = plan.positions_arr
-                node.pos_starts = plan.pos_starts
-
-                node_trace = ctx.node(node.sid, cols=plan.m,
-                                      rows_below=plan.front_size - plan.m)
-                node.l_a, node.l_b, node.c_update = \
-                    executor.factorize_node(
-                        plan,
-                        [lin[index].hessian for index in plan.factor_ids],
-                        [child.c_update for child in children],
-                        self.damping, node_trace)
-
-                rhs = (self._gradient.gather(plan.pos_idx)
-                       - self._carry.gather(plan.pos_idx))
-                node.y, node.v = executor.forward_update(
-                    plan, node.l_a, node.l_b, rhs, node_trace)
-                if node.v is not None:
-                    self._carry.scatter_add(plan.pattern_idx, node.v, 1.0)
-        ctx.plan_hits += cache.hits - hits0
-        ctx.plan_misses += cache.misses - misses0
-        ctx.plan_compiles += cache.compiles - compiles0
-        ctx.refactor_seconds += time.perf_counter() - start
-
-    def _refactorize_parallel(self, fresh_nodes: List[_Node],
-                              ctx: StepContext, aud) -> None:
-        """Level-scheduled twin of the serial refactorize loop.
-
-        Bit-identical by construction (see :mod:`repro.linalg.parallel`):
-
-        * Phase 0 (serial, head order): plan resolution — so plan-cache
-          traffic, auditor recompiles and trace-node creation order all
-          match the serial path exactly.
-        * Phase 1 (parallel, level by level): the pure frontal kernel
-          ``factorize_node``, whose inputs (factor Hessians, children's
-          ``C_update`` in plan assembly order) are gathered on the main
-          thread after the previous level's barrier.  This is the POTRF
-          / TRSM / SYRK bulk that numpy/LAPACK run with the GIL
-          released.
-        * Phase 2 (serial, head order): rhs gather, forward solve and
-          the carry scatter-add — float accumulations whose cross-
-          subtree order the level schedule would otherwise reorder.
-        """
-        executor = self._executor
-        lin = self._lin
-        children_of: Dict[int, List[_Node]] = {}
-        traces: Dict[int, Optional[NodeTrace]] = {}
         for node in fresh_nodes:
             children = self._children_nodes(node)
-            children_of[node.sid] = children
             plan = self._plan_for(node, children, aud)
             node.plan = plan
             node.pos_idx = plan.pos_idx
@@ -792,46 +847,26 @@ class IncrementalEngine:
             node.pattern_arr = plan.pattern_arr
             node.positions_arr = plan.positions_arr
             node.pos_starts = plan.pos_starts
-            traces[node.sid] = ctx.node(node.sid, cols=plan.m,
-                                        rows_below=plan.front_size - plan.m)
 
-        parents = {
-            node.sid: (self.node_of[node.pattern[0]] if node.pattern
-                       else None)
-            for node in fresh_nodes}
-        levels = levels_from_parents([n.sid for n in fresh_nodes], parents)
-        stats = LevelStats()
-        for level in levels:
-            nodes = [self.nodes[sid] for sid in level]
-            tasks = []
-            for node in nodes:
-                plan = node.plan
-                hessians = [lin[index].hessian
-                            for index in plan.factor_ids]
-                child_updates = [child.c_update
-                                 for child in children_of[node.sid]]
-                tasks.append(
-                    lambda p=plan, h=hessians, c=child_updates,
-                    t=traces[node.sid]:
-                    executor.factorize_node(p, h, c, self.damping, t))
-            results = executor.run_level(tasks, stats)
-            for node, (l_a, l_b, c_update) in zip(nodes, results):
-                node.l_a = l_a
-                node.l_b = l_b
-                node.c_update = c_update
+            node_trace = ctx.node(node.sid, cols=plan.m,
+                                  rows_below=plan.front_size - plan.m)
+            node.l_a, node.l_b, node.c_update = \
+                executor.factorize_node(
+                    plan,
+                    [lin[index].hessian for index in plan.factor_ids],
+                    [child.c_update for child in children],
+                    self.damping, node_trace)
 
-        for node in fresh_nodes:
-            plan = node.plan
             rhs = (self._gradient.gather(plan.pos_idx)
                    - self._carry.gather(plan.pos_idx))
             node.y, node.v = executor.forward_update(
-                plan, node.l_a, node.l_b, rhs, traces[node.sid])
+                plan, node.l_a, node.l_b, rhs, node_trace)
             if node.v is not None:
                 self._carry.scatter_add(plan.pattern_idx, node.v, 1.0)
-        ctx.parallel_nodes += stats.nodes
-        ctx.parallel_levels += stats.levels
-        ctx.parallel_task_seconds += stats.task_seconds
-        ctx.parallel_wall_seconds += stats.wall_seconds
+        ctx.plan_hits += cache.hits - hits0
+        ctx.plan_misses += cache.misses - misses0
+        ctx.plan_compiles += cache.compiles - compiles0
+        ctx.refactor_seconds += time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # phase H: wildfire back-substitution (top-down)
@@ -1021,6 +1056,17 @@ class IncrementalEngine:
             below = sum(self.dims[q] for q in self._col_struct[j])
             fill += dj * (dj + 1) // 2 + below * dj
         assert fill == self._fill_total
+        for head, indices in self._factors_at.items():
+            expect = 0
+            for index in indices:
+                if index not in self._lin:
+                    continue  # registered but never linearized (dead step)
+                contrib = self._lin[index]
+                expect = fold_hash(
+                    expect, hash((index, tuple(contrib.positions),
+                                  contrib.residual_dim)))
+            assert self._fsig_at.get(head, 0) == expect, (
+                f"stale signature fragment at head {head}")
         seen: Set[int] = set()
         for node in self.nodes.values():
             assert node.positions == sorted(node.positions)
@@ -1035,6 +1081,258 @@ class IncrementalEngine:
                 seen.add(p)
                 assert self.node_of[p] == node.sid
         assert seen == set(range(self.num_positions))
+
+
+class PendingStep:
+    """One engine step split into externally drivable phases.
+
+    The serving fleet opens a ``PendingStep`` per session, then drives
+    every session's phases in lockstep so the expensive middles can be
+    *fused across sessions*: linearization requests are batched through
+    one cross-session SoA kernel call, and refactorization levels are
+    merged into shared ``run_level`` dispatches.  :meth:`IncrementalEngine
+    .update` drives the identical protocol inline, so solo and fleet
+    execution share every line of phase code — bit-identity between them
+    is by construction, not by parallel maintenance.
+
+    Protocol order (a phase must not be skipped, only its request may be
+    None):
+
+    1. ``ingest_request()`` -> optional :class:`LinearizeRequest` for the
+       step's new factors; feed the :class:`LinearizeResult` to
+       ``apply_ingest``.
+    2. ``relin_request(keys)`` -> optional request for the relinearized
+       factors (also performs the retractions); ``apply_relin``.
+    3. ``prepare_solve()`` — reorder decision, incremental symbolic
+       resolve, supernode rebuild.
+    4. ``refactorize()`` (single-session) *or* ``refactorize_begin()``
+       plus external level scheduling and ``PreparedRefactorize.finish``
+       (fleet).
+    5. ``finish()`` — wildfire back-substitution, step counters; returns
+       the engine's info dict.
+    """
+
+    __slots__ = ("engine", "ctx", "affected", "new_factors", "new_indices",
+                 "relin_key_count", "relin_indices", "sym_affected",
+                 "fresh")
+
+    def __init__(self, engine: IncrementalEngine, ctx: StepContext):
+        self.engine = engine
+        self.ctx = ctx
+        self.affected: Set[int] = set()
+        self.new_factors: List[Factor] = []
+        self.new_indices: List[int] = []
+        self.relin_key_count = 0
+        self.relin_indices: List[int] = []
+        self.sym_affected: Set[int] = set()
+        self.fresh: List[int] = []
+
+    def ingest_request(self) -> Optional[LinearizeRequest]:
+        if not self.new_indices:
+            return None
+        engine = self.engine
+        return LinearizeRequest(self.new_factors, engine.theta,
+                                engine.pos_of)
+
+    def apply_ingest(self, result: LinearizeResult,
+                     seconds: float = 0.0) -> None:
+        ctx = self.ctx
+        ctx.lin_seconds += seconds
+        ctx.lin_batched += result.n_batched
+        ctx.lin_fallback += result.n_fallback
+        self.engine._apply_new_contributions(self.new_indices,
+                                             result.contributions)
+
+    def relin_request(self, relin_keys: Iterable[Key],
+                      ) -> Optional[LinearizeRequest]:
+        engine = self.engine
+        keys = set(relin_keys)
+        self.relin_key_count = len(keys)
+        touched, indices = engine._retract_keys(keys)
+        self.affected |= touched
+        self.relin_indices = indices
+        if not indices:
+            return None
+        return LinearizeRequest(
+            [engine.graph.factor(i) for i in indices], engine.theta,
+            engine.pos_of)
+
+    def apply_relin(self, result: LinearizeResult,
+                    seconds: float = 0.0) -> None:
+        ctx = self.ctx
+        ctx.lin_seconds += seconds
+        ctx.lin_batched += result.n_batched
+        ctx.lin_fallback += result.n_fallback
+        self.affected |= self.engine._apply_relin_contributions(
+            self.relin_indices, result.contributions)
+
+    def prepare_solve(self) -> None:
+        engine = self.engine
+        engine._steps_since_reorder += 1
+        affected = self.affected
+        if (engine.ordering == "constrained_colamd" and affected
+                and engine._steps_since_reorder >= engine.reorder_interval
+                and engine.num_positions - min(affected)
+                >= engine.reorder_min_suffix):
+            affected = engine._reorder_suffix(affected)
+            engine._steps_since_reorder = 0
+        self.sym_affected = engine._resolve_structure(affected)
+        self.fresh = engine._rebuild_supernodes(self.sym_affected)
+
+    def refactorize(self) -> None:
+        self.engine._refactorize(self.fresh, self.ctx)
+
+    def refactorize_begin(self) -> "PreparedRefactorize":
+        return self.engine.refactorize_begin(self.fresh, self.ctx)
+
+    def finish(self) -> Dict[str, object]:
+        engine = self.engine
+        ctx = self.ctx
+        engine._back_substitute(self.fresh, ctx)
+        ctx.relin_variables += self.relin_key_count
+        ctx.relin_factors += len(self.relin_indices)
+        ctx.symbolic += len(self.sym_affected)
+        ctx.numeric += len(self.fresh)
+        shape = engine.tree_shape()
+        ctx.extras["tree_height"] = shape["height"]
+        ctx.extras["tree_max_width"] = shape["max_width"]
+        ctx.extras["tree_fill_nnz"] = shape["fill_nnz"]
+        return {
+            "relinearized_variables": self.relin_key_count,
+            "relinearized_factors": len(self.relin_indices),
+            "affected_columns": len(self.sym_affected),
+            "refactored_nodes": len(self.fresh),
+            "fresh_sids": self.fresh,
+        }
+
+
+class PreparedRefactorize:
+    """Plan-resolved refactorization whose levels schedule externally.
+
+    Construction is the serial phase-0 of PR 8's level-parallel
+    refactorize: plan resolution, index attachment and trace-node
+    creation in head order — so plan-cache traffic, auditor recompiles
+    and trace insertion order all match the serial path exactly.  The
+    numeric bulk is then exposed as dependency levels whose tasks a
+    caller dispatches through any
+    :meth:`~repro.linalg.parallel.ParallelStepExecutor.run_level` —
+    the engine's own driver is :meth:`run`; the serving fleet instead
+    merges every session's level-k tasks into one shared dispatch.
+    :meth:`finish` performs the serial forward sweep and carry scatter
+    (cross-subtree float accumulations that must stay in head order).
+
+    Plan-cache counter deltas are attributed *inside construction*: in
+    a fleet, many sessions interleave lookups against one shared cache
+    between begin and finish, so finish-time deltas would misattribute.
+    """
+
+    __slots__ = ("engine", "ctx", "fresh_nodes", "children_of", "traces",
+                 "levels", "stats")
+
+    def __init__(self, engine: IncrementalEngine, fresh: List[int],
+                 ctx: StepContext):
+        start = time.perf_counter()
+        self.engine = engine
+        self.ctx = ctx
+        cache = engine._plans
+        hits0, misses0, compiles0 = cache.counters()
+        aud = current_auditor()
+        self.fresh_nodes = sorted((engine.nodes[sid] for sid in fresh),
+                                  key=lambda n: n.positions[0])
+        self.children_of: Dict[int, List[_Node]] = {}
+        self.traces: Dict[int, Optional[NodeTrace]] = {}
+        for node in self.fresh_nodes:
+            children = engine._children_nodes(node)
+            self.children_of[node.sid] = children
+            plan = engine._plan_for(node, children, aud)
+            node.plan = plan
+            node.pos_idx = plan.pos_idx
+            node.pattern_idx = plan.pattern_idx
+            node.pattern_arr = plan.pattern_arr
+            node.positions_arr = plan.positions_arr
+            node.pos_starts = plan.pos_starts
+            self.traces[node.sid] = ctx.node(
+                node.sid, cols=plan.m,
+                rows_below=plan.front_size - plan.m)
+        parents = {
+            node.sid: (engine.node_of[node.pattern[0]] if node.pattern
+                       else None)
+            for node in self.fresh_nodes}
+        self.levels = levels_from_parents(
+            [n.sid for n in self.fresh_nodes], parents)
+        self.stats = LevelStats()
+        ctx.plan_hits += cache.hits - hits0
+        ctx.plan_misses += cache.misses - misses0
+        ctx.plan_compiles += cache.compiles - compiles0
+        ctx.refactor_seconds += time.perf_counter() - start
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def level_tasks(self, k: int) -> List[Tuple[Callable, float]]:
+        """``(task, priority)`` pairs for dependency level ``k``.
+
+        Inputs (factor Hessians, children's ``C_update``) are gathered
+        here, on the caller's thread, in plan assembly order — never in
+        completion order.  Priority is the front's factorization cost
+        proxy ``m * front_size^2`` (largest front first).
+        """
+        engine = self.engine
+        executor = engine._executor
+        lin = engine._lin
+        damping = engine.damping
+        out: List[Tuple[Callable, float]] = []
+        for sid in self.levels[k]:
+            node = engine.nodes[sid]
+            plan = node.plan
+            hessians = [lin[index].hessian for index in plan.factor_ids]
+            child_updates = [child.c_update
+                             for child in self.children_of[sid]]
+            out.append((
+                lambda p=plan, h=hessians, c=child_updates,
+                t=self.traces[sid]:
+                executor.factorize_node(p, h, c, damping, t),
+                float(plan.m) * plan.front_size * plan.front_size))
+        return out
+
+    def apply_level(self, k: int, results: Sequence[Tuple]) -> None:
+        for sid, (l_a, l_b, c_update) in zip(self.levels[k], results):
+            node = self.engine.nodes[sid]
+            node.l_a = l_a
+            node.l_b = l_b
+            node.c_update = c_update
+
+    def run(self, executor: ParallelStepExecutor) -> None:
+        """Single-session driver: dispatch each level, then barrier."""
+        start = time.perf_counter()
+        for k in range(len(self.levels)):
+            pairs = self.level_tasks(k)
+            results = executor.run_level(
+                [task for task, _ in pairs], self.stats,
+                [priority for _, priority in pairs])
+            self.apply_level(k, results)
+        self.ctx.refactor_seconds += time.perf_counter() - start
+
+    def finish(self) -> None:
+        """Serial forward sweep + carry scatter, in head order."""
+        start = time.perf_counter()
+        engine = self.engine
+        executor = engine._executor
+        for node in self.fresh_nodes:
+            plan = node.plan
+            rhs = (engine._gradient.gather(plan.pos_idx)
+                   - engine._carry.gather(plan.pos_idx))
+            node.y, node.v = executor.forward_update(
+                plan, node.l_a, node.l_b, rhs, self.traces[node.sid])
+            if node.v is not None:
+                engine._carry.scatter_add(plan.pattern_idx, node.v, 1.0)
+        ctx = self.ctx
+        ctx.parallel_nodes += self.stats.nodes
+        ctx.parallel_levels += self.stats.levels
+        ctx.parallel_task_seconds += self.stats.task_seconds
+        ctx.parallel_wall_seconds += self.stats.wall_seconds
+        ctx.refactor_seconds += time.perf_counter() - start
 
 
 class ISAM2:
@@ -1057,13 +1355,14 @@ class ISAM2:
                  max_supernode_vars: int = 8,
                  ordering: str = "chronological",
                  reorder_interval: int = 25,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 plan_cache: Optional[PlanCache] = None):
         self.relin_threshold = float(relin_threshold)
         self.engine = IncrementalEngine(
             max_supernode_vars=max_supernode_vars,
             wildfire_tol=wildfire_tol, damping=damping,
             ordering=ordering, reorder_interval=reorder_interval,
-            workers=workers)
+            workers=workers, plan_cache=plan_cache)
         self._step = -1
 
     def update(self, new_values: Dict[Key, object],
