@@ -25,7 +25,10 @@ from repro.core import RAISAM2
 from repro.datasets import (
     cab1_dataset,
     cab2_dataset,
+    kidnapped_robot_dataset,
+    long_term_revisit_dataset,
     manhattan_dataset,
+    multi_robot_rendezvous_dataset,
     read_g2o,
     run_online,
     sphere_dataset,
@@ -37,6 +40,7 @@ from repro.geometry import SE2, SE3
 from repro.hardware.registry import make_platform
 from repro.linalg.ordering import ordering_names
 from repro.metrics import latency_stats
+from repro.policy import controller_names, selection_names
 from repro.runtime import NodeCostModel
 from repro.solvers import GaussNewton, ISAM2, IncrementalEngine, \
     LevenbergMarquardt
@@ -46,6 +50,9 @@ DATASETS = {
     "Sphere": sphere_dataset,
     "CAB1": cab1_dataset,
     "CAB2": cab2_dataset,
+    "Kidnapped": kidnapped_robot_dataset,
+    "Revisit": long_term_revisit_dataset,
+    "Rendezvous": multi_robot_rendezvous_dataset,
 }
 
 #: CLI platform name -> registry platform name (see repro.hardware.registry).
@@ -62,19 +69,23 @@ PLATFORMS = {
 }
 
 
+def _anchor_prior(key, pose):
+    """A tight prior pinning ``key`` at ``pose`` (None if not a pose)."""
+    if isinstance(pose, SE2):
+        return PriorFactorSE2(key, pose, DiagonalNoise([1e-3, 1e-3, 1e-4]))
+    if isinstance(pose, SE3):
+        return PriorFactorSE3(key, pose,
+                              DiagonalNoise([1e-3] * 3 + [1e-4] * 3))
+    return None
+
+
 def _add_anchor_if_needed(values, factors) -> List:
     """g2o files usually carry no prior; anchor the first vertex."""
     keys = sorted(values.keys())
     if not keys:
         return list(factors)
-    first = values.at(keys[0])
-    if isinstance(first, SE2):
-        prior = PriorFactorSE2(keys[0], first,
-                               DiagonalNoise([1e-3, 1e-3, 1e-4]))
-    elif isinstance(first, SE3):
-        prior = PriorFactorSE3(keys[0], first,
-                               DiagonalNoise([1e-3] * 3 + [1e-4] * 3))
-    else:
+    prior = _anchor_prior(keys[0], values.at(keys[0]))
+    if prior is None:
         return list(factors)
     return [prior] + list(factors)
 
@@ -134,8 +145,16 @@ def cmd_solve(args) -> int:
             added.add(key)
             ready = [i for i, f in pending.items()
                      if all(k in added for k in f.keys)]
-            solver.update({key: values.at(key)},
-                          [pending.pop(i) for i in ready])
+            factors_now = [pending.pop(i) for i in ready]
+            if not factors_now:
+                # First vertex of a disconnected component (e.g. a
+                # second robot's key namespace): anchor it so the
+                # incremental factorization stays positive definite.
+                anchor = _anchor_prior(key, values.at(key))
+                if anchor is not None:
+                    factors_now = [anchor]
+                    graph.add(anchor)
+            solver.update({key: values.at(key)}, factors_now)
         solved = solver.estimate()
         error = graph.error(solved)
 
@@ -153,13 +172,24 @@ def cmd_simulate(args) -> int:
     target = args.target_ms * 1e-3
     if soc.has_accelerators:
         solver = RAISAM2(NodeCostModel(soc), target_seconds=target,
+                         selection_policy=args.selection,
+                         selection_seed=args.seed,
+                         budget_controller=args.budget_controller,
                          ordering=args.ordering, workers=args.workers)
     else:
-        solver = ISAM2(relin_threshold=0.05, ordering=args.ordering,
-                       workers=args.workers)
+        if args.budget_controller != "fixed":
+            print(f"platform {args.platform} runs plain ISAM2 "
+                  f"(no budget to control)", file=sys.stderr)
+            return 2
+        solver = ISAM2(relin_threshold=0.05,
+                       selection_policy=args.selection,
+                       selection_seed=args.seed,
+                       ordering=args.ordering, workers=args.workers)
     run = run_online(solver, data, soc=soc, collect_errors=False)
     stats = latency_stats(run.latency_seconds(), target)
     print(f"{data.describe()} on {soc.name}")
+    print(f"policies: selection={args.selection}, "
+          f"budget-controller={args.budget_controller}")
     print(f"per-step latency: median {1e3 * stats.median:.3f} ms, "
           f"p95 {1e3 * stats.p95:.3f} ms, max {1e3 * stats.maximum:.3f} ms")
     print(f"target {args.target_ms} ms, misses "
@@ -231,19 +261,22 @@ def cmd_serve_bench(args) -> int:
         FleetConfig,
         compare_snapshots,
         default_solver_factory,
-        fleet_workload,
+        named_fleet_workload,
         run_fleet,
         run_isolated,
     )
 
-    workloads = fleet_workload(args.sessions, args.steps)
+    workloads = named_fleet_workload(args.workload, args.sessions,
+                                     args.steps)
     factory = default_solver_factory(
-        relin_threshold=args.relin_threshold)
+        relin_threshold=args.relin_threshold,
+        selection_policy=args.selection)
     config = FleetConfig(workers=args.workers, degrade=not args.no_degrade,
                          target_seconds=args.target_ms * 1e-3)
     iso = run_isolated(workloads, factory)
     flt, fleet = run_fleet(workloads, factory, config)
-    print(f"sessions={args.sessions} steps/session={args.steps}")
+    print(f"workload={args.workload} selection={args.selection} "
+          f"sessions={args.sessions} steps/session={args.steps}")
     print(f"isolated: {iso.elapsed:.3f} s "
           f"({iso.session_steps_per_second:.1f} session-steps/s)")
     print(f"fleet:    {flt.elapsed:.3f} s "
@@ -316,6 +349,14 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=IncrementalEngine.ORDERINGS,
                      default="chronological",
                      help="incremental elimination ordering policy")
+    sim.add_argument("--selection", choices=selection_names(),
+                     default="relevance",
+                     help="registered relinearization-selection policy "
+                          "(see repro.policy)")
+    sim.add_argument("--budget-controller", choices=controller_names(),
+                     default="fixed",
+                     help="registered adaptive budget controller "
+                          "(accelerated platforms only)")
     sim.add_argument("--workers", type=int, default=None,
                      help="thread-pool size for parallel numeric "
                           "execution (bit-identical to serial; 0 = one "
@@ -357,6 +398,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--sessions", type=int, default=8)
     serve.add_argument("--steps", type=int, default=25,
                        help="trajectory steps per session")
+    serve.add_argument("--workload", default="chain",
+                       choices=("chain", "kidnapped", "revisit",
+                                "rendezvous"),
+                       help="benign shared-topology chain or an "
+                            "adversarial generator from "
+                            "repro.datasets.adversarial")
+    serve.add_argument("--selection", choices=selection_names(),
+                       default="relevance",
+                       help="per-session selection policy consulted "
+                            "for the overload-shedding cut")
     serve.add_argument("--relin-threshold", type=float, default=0.1)
     serve.add_argument("--target-ms", type=float, default=33.3,
                        help="per-session step-latency budget fed to the "

@@ -73,12 +73,23 @@ class StepBudget:
         The serving fleet's admission controller calls this with its
         current degradation factor before greedy selection: a positive
         ``remaining`` (and ``energy_remaining``) is multiplied by
-        ``scale in [0, 1]``.  Mandatory work is never repriced and the
-        solve is never charged against this budget at all, so scaling
-        can only shed relinearization breadth — never the solve.
+        ``scale``.  Mandatory work is never repriced and the solve is
+        never charged against this budget at all, so scaling can only
+        shed relinearization breadth — never the solve.
+
+        Edge cases: negative scales raise ``ValueError``; scales above
+        1.0 clamp to 1.0 (scaling never *grows* a budget — adaptive
+        controllers grow the target instead, see
+        :mod:`repro.policy.controller`); scaling an exhausted budget is
+        a no-op, so repeated scaling is idempotent once nothing is
+        left (an exhausted-by-energy budget must not keep shrinking
+        its time remainder, and vice versa).
         """
-        if not 0.0 <= scale <= 1.0:
-            raise ValueError("scale must be in [0, 1]")
+        if scale < 0.0:
+            raise ValueError(f"scale must be non-negative, got {scale}")
+        scale = min(scale, 1.0)
+        if self.exhausted:
+            return
         if self.remaining > 0.0:
             self.remaining *= scale
         if self.energy_remaining is not None and \

@@ -6,14 +6,19 @@ Each step:
    and factors),
 2. rank existing variables by relevance score (``‖delta_j‖∞``),
 3. greedily select variables whose Algorithm-1 cost estimate fits in the
-   remaining budget (most relevant first — amortizing loop closures over
-   several steps),
+   remaining budget (ordering and admission delegated to the configured
+   :class:`~repro.policy.selection.SelectionPolicy` — the paper's
+   most-relevant-first greedy by default),
 4. run the incremental engine with exactly that relinearization set.
+
+An optional :class:`~repro.policy.controller.BudgetController`
+(``budget_controller="slambooster"``) modulates the per-step target
+from observed error/latency trends; the default ``fixed`` controller
+keeps the historical constant-target behavior bit for bit.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, NamedTuple, Optional, Sequence, Set
 
 from repro.core.budget import StepBudget
@@ -24,6 +29,13 @@ from repro.factorgraph.values import Values
 from repro.hardware.power import PowerModel
 from repro.instrumentation import StepContext
 from repro.linalg.trace import OpTrace
+from repro.policy import (
+    BudgetController,
+    SelectionContext,
+    SelectionPolicy,
+    make_budget_controller,
+    make_selection_policy,
+)
 from repro.runtime.cost_model import NodeCostModel
 from repro.linalg.plan import PlanCache
 from repro.solvers.base import StepReport
@@ -62,9 +74,16 @@ class RAISAM2:
     energy_budget_joules / power_model:
         Optional per-step energy cap (Section 7 extension).
     selection_policy:
-        Candidate ordering: ``"relevance"`` (the paper's greedy
-        most-relevant-first), ``"fifo"`` (oldest variable first) or
-        ``"random"`` — the latter two exist for the selection ablation.
+        Registered :class:`~repro.policy.selection.SelectionPolicy`
+        name (``relevance`` / ``fifo`` / ``random`` / ``good_graph`` /
+        any custom registration) or a policy instance.  Default is the
+        paper's greedy most-relevant-first ranking.
+    selection_seed:
+        Seed handed to the policy (only ``random`` consumes it).
+    budget_controller:
+        Registered :class:`~repro.policy.controller.BudgetController`
+        name (``fixed`` / ``slambooster`` / custom) or instance;
+        ``fixed`` (default) pins the historical constant target.
     ordering / reorder_interval:
         Engine elimination-ordering mode (``"chronological"`` or
         ``"constrained_colamd"``) and re-ordering cadence; see
@@ -80,20 +99,21 @@ class RAISAM2:
                  damping: float = 0.0,
                  energy_budget_joules: Optional[float] = None,
                  power_model: Optional[PowerModel] = None,
-                 selection_policy: str = "relevance",
+                 selection_policy=("relevance"),
                  selection_seed: int = 0,
+                 budget_controller="fixed",
                  ordering: str = "chronological",
                  reorder_interval: int = 25,
                  workers: Optional[int] = None,
                  plan_cache: Optional[PlanCache] = None):
-        if selection_policy not in ("relevance", "fifo", "random"):
-            raise ValueError(f"unknown policy {selection_policy!r}")
         self.cost_model = cost_model
         self.target_seconds = float(target_seconds)
         self.score_floor = float(score_floor)
         self.safety = float(safety)
-        self.selection_policy = selection_policy
-        self._selection_rng = random.Random(selection_seed)
+        self.selection_policy: SelectionPolicy = make_selection_policy(
+            selection_policy, seed=selection_seed)
+        self.budget_controller: BudgetController = make_budget_controller(
+            budget_controller)
         self.energy_budget_joules = energy_budget_joules
         self.power_model = power_model or PowerModel()
         self.engine = IncrementalEngine(
@@ -102,6 +122,7 @@ class RAISAM2:
             ordering=ordering, reorder_interval=reorder_interval,
             workers=workers, plan_cache=plan_cache)
         self._step = -1
+        self._last_target_scale = 1.0
 
     def _estimate_energy(self, seconds: float) -> float:
         """Coarse energy estimate: average power x time."""
@@ -119,8 +140,18 @@ class RAISAM2:
         rejected scaled — is counted.  At ``budget_scale >= 1`` the
         shadow is skipped and the pass is the historical solo path,
         charge for charge.
+
+        The budget controller's target scale applies first; it is
+        capped at 1.0 while the fleet is degrading so an adaptive
+        controller never inflates a budget the fleet is shedding.
         """
-        budget = StepBudget(self.target_seconds, self.safety,
+        ctrl_scale = self.budget_controller.target_scale()
+        if budget_scale < 1.0:
+            ctrl_scale = min(ctrl_scale, 1.0)
+        self._last_target_scale = ctrl_scale
+        target = self.target_seconds if ctrl_scale == 1.0 \
+            else self.target_seconds * ctrl_scale
+        budget = StepBudget(target, self.safety,
                             self.energy_budget_joules)
         estimator = RelinCostEstimator(
             self.engine, self.cost_model,
@@ -137,41 +168,34 @@ class RAISAM2:
         budget.charge_mandatory(mandatory, mandatory_joules)
         nominal: Optional[StepBudget] = None
         if budget_scale < 1.0:
-            nominal = StepBudget(self.target_seconds, self.safety,
+            nominal = StepBudget(target, self.safety,
                                  self.energy_budget_joules)
             nominal.charge_mandatory(mandatory, mandatory_joules)
             budget.scale_optional(budget_scale)
 
-        # Greedy selection, ranked by the configured policy.
+        # Greedy selection, ranked and admitted by the configured policy.
         candidates = relevance_scores(self.engine, self.score_floor)
-        if self.selection_policy == "fifo":
-            # Oldest-first means engine insertion order.  Sorting by the
-            # Key itself interleaved namespaces instead (e.g. offset
-            # landmark keys sort between poses regardless of age).
-            candidates = sorted(
-                candidates,
-                key=lambda pair: self.engine.pos_of[pair[1]])
-        elif self.selection_policy == "random":
-            candidates = list(candidates)
-            self._selection_rng.shuffle(candidates)
-        selected: List[Key] = []
-        deferred = 0
-        shed = 0
-        charged = mandatory
-        for score, key in candidates:
-            cost = estimator.relin_cost(key)
-            joules = self._estimate_energy(cost)
-            admitted = budget.charge(cost, joules)
-            if nominal is not None and nominal.charge(cost, joules) \
-                    and not admitted:
-                shed += 1
-            if admitted:
-                selected.append(key)
-                charged += cost
-            else:
-                deferred += 1
-        return SelectionPlan(selected, deferred, shed, charged,
+        outcome = self.selection_policy.select(SelectionContext(
+            engine=self.engine, candidates=candidates,
+            estimator=estimator, budget=budget, nominal=nominal,
+            energy_of=self._estimate_energy, charged=mandatory))
+        return SelectionPlan(outcome.selected, outcome.deferred,
+                             outcome.shed, outcome.charged,
                              estimator.visits)
+
+    def observe_report(self, report: StepReport) -> None:
+        """Feed the budget controller one completed step's signals.
+
+        Called at the end of :meth:`update` (solo) and by the serving
+        fleet after it assembles a session's report, so controller
+        state advances identically under both drivers.
+        """
+        norms = self.engine.delta_norm_array()
+        extras = dict(report.extras)
+        extras.setdefault("budget_target_seconds", self.target_seconds)
+        extras.setdefault("max_delta_norm",
+                          float(norms.max()) if norms.size else 0.0)
+        self.budget_controller.observe(extras)
 
     def update(self, new_values: Dict[Key, object],
                new_factors: Sequence[Factor],
@@ -184,12 +208,16 @@ class RAISAM2:
         info = self.engine.update(new_values, new_factors, plan.selected,
                                   context=ctx)
         ctx.extras["estimated_seconds"] = plan.charged
-        return ctx.build_report(
+        if self._last_target_scale != 1.0:
+            ctx.extras["budget_target_scale"] = self._last_target_scale
+        report = ctx.build_report(
             self._step,
             node_parents=self.engine.node_parents(info["fresh_sids"]),
             selection_visits=plan.visits,
             deferred_variables=plan.deferred,
         )
+        self.observe_report(report)
+        return report
 
     def estimate(self) -> Values:
         return self.engine.estimate()

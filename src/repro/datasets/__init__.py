@@ -7,12 +7,21 @@
 * :func:`cab1_dataset` / :func:`cab2_dataset` — LaMAR-CAB substitutes:
   indoor AR sessions over a floorplan with covisibility-driven loop
   closures; CAB2 concatenates multiple sessions into one long trajectory.
+* :mod:`repro.datasets.adversarial` — policy-layer stress workloads:
+  kidnapped-robot relocalization bursts, long-term revisits with
+  seasonal landmark churn, and a multi-robot rendezvous merge.
 
 All generators are seeded and reproduce the published step/edge counts at
 ``scale=1.0``; pass a smaller scale for laptop-sized runs.
 """
 
 from repro.datasets.pose_graph import PoseGraphDataset, TimeStep
+from repro.datasets.adversarial import (
+    ADVERSARIAL_WORKLOADS,
+    kidnapped_robot_dataset,
+    long_term_revisit_dataset,
+    multi_robot_rendezvous_dataset,
+)
 from repro.datasets.manhattan import manhattan_dataset
 from repro.datasets.sphere import sphere_dataset
 from repro.datasets.cab import cab1_dataset, cab2_dataset
@@ -23,6 +32,10 @@ from repro.datasets.streaming import run_online, OnlineRun
 __all__ = [
     "PoseGraphDataset",
     "TimeStep",
+    "ADVERSARIAL_WORKLOADS",
+    "kidnapped_robot_dataset",
+    "long_term_revisit_dataset",
+    "multi_robot_rendezvous_dataset",
     "manhattan_dataset",
     "sphere_dataset",
     "cab1_dataset",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +17,11 @@ from repro.experiments.common import (
 from repro.hardware.registry import make_platform
 from repro.linalg.ordering import make_ordering_policy, ordering_names
 from repro.linalg.symbolic import SymbolicFactorization
+from repro.policy import (
+    SELECTION_POLICIES,
+    controller_names,
+    registered_selection_order,
+)
 from repro.runtime import NodeCostModel
 from repro.solvers import ISAM2
 
@@ -76,20 +81,34 @@ def amalgamation_ablation(
 
 def selection_policy_ablation(
     name: str = "M3500",
-    policies: Sequence[str] = ("relevance", "fifo", "random"),
+    policies: Optional[Sequence[str]] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Relevance-ranked greedy selection vs FIFO and random ordering.
+    """Every registered selection policy (plus adaptive controllers)
+    under one tight budget.
 
-    All policies get the same budget; ranking by relevance score should
+    All rows spend the same budget; ranking by relevance score should
     win on accuracy because the most-drifted variables carry the largest
-    linearization error (paper Section 4.1's intuition).
+    linearization error (paper Section 4.1's intuition).  The default
+    row set is the :mod:`repro.policy` selection registry in
+    registration order plus one row per non-default budget controller
+    (run with relevance selection), so newly registered policies show
+    up in the table without touching this harness.
     """
+    if policies is None:
+        policies = tuple(registered_selection_order()) + tuple(
+            n for n in controller_names() if n != "fixed")
     soc = make_platform("SuperNoVA1S")
     results: Dict[str, Dict[str, float]] = {}
     for policy in policies:
+        if policy in SELECTION_POLICIES:
+            knobs = {"selection_policy": policy}
+        else:
+            # Controller rows: paper-default selection, adaptive budget.
+            knobs = {"selection_policy": "relevance",
+                     "budget_controller": policy}
         solver = RAISAM2(NodeCostModel(soc),
                          target_seconds=0.3 * target_for(name),
-                         selection_policy=policy)
+                         **knobs)
         run = run_online(solver, dataset(name), soc=soc,
                          collect_errors=True, error_every=ERROR_EVERY,
                          reference=reference_trajectory(name))

@@ -24,7 +24,10 @@ from repro.datasets import (
     OnlineRun,
     cab1_dataset,
     cab2_dataset,
+    kidnapped_robot_dataset,
+    long_term_revisit_dataset,
     manhattan_dataset,
+    multi_robot_rendezvous_dataset,
     run_online,
     sphere_dataset,
 )
@@ -41,6 +44,10 @@ ERROR_EVERY = 4                  # per-step error sampling stride
 
 DATASETS = ("Sphere", "M3500", "CAB1", "CAB2")
 
+#: Adversarial policy-stress workloads (repro.datasets.adversarial);
+#: not part of the paper's benchmark set, used by the policy ablations.
+ADVERSARIAL_DATASETS = ("Kidnapped", "Revisit", "Rendezvous")
+
 # Default scaled sizes chosen so the whole benchmark suite runs in
 # minutes while keeping every dataset's structural regime.
 _DEFAULT_SCALES = {
@@ -48,6 +55,9 @@ _DEFAULT_SCALES = {
     "Sphere": 0.09,
     "CAB1": 0.50,
     "CAB2": 0.07,
+    "Kidnapped": 0.30,
+    "Revisit": 0.25,
+    "Rendezvous": 0.25,
 }
 
 _FACTORIES = {
@@ -55,6 +65,9 @@ _FACTORIES = {
     "Sphere": sphere_dataset,
     "CAB1": cab1_dataset,
     "CAB2": cab2_dataset,
+    "Kidnapped": kidnapped_robot_dataset,
+    "Revisit": long_term_revisit_dataset,
+    "Rendezvous": multi_robot_rendezvous_dataset,
 }
 
 

@@ -18,6 +18,7 @@ from repro.hardware.platforms import SoCConfig
 from repro.instrumentation import StepContext
 from repro.linalg.trace import OpTrace
 from repro.metrics.ape import irmse, translation_errors
+from repro.policy import describe_policies
 from repro.runtime.executor import StepLatency, execute_step
 from repro.runtime.scheduler import RuntimeFeatures
 from repro.solvers.base import StepReport
@@ -33,6 +34,11 @@ class OnlineRun:
 
     dataset: str
     solver: str
+    #: Policy metadata of the solver that produced the run
+    #: (``{"selection": ..., "budget_controller": ...}``; ``None``
+    #: entries for solvers without the knob).  Labels ablation rows
+    #: and keeps saved runs self-describing.
+    policies: dict = field(default_factory=dict)
     reports: List[StepReport] = field(default_factory=list)
     latencies: List[StepLatency] = field(default_factory=list)
     step_max_error: List[float] = field(default_factory=list)
@@ -158,7 +164,8 @@ class BackendPipeline:
             raise ValueError(f"max_steps must be >= 0, got {max_steps}")
         self.dataset = dataset
         run = OnlineRun(dataset=dataset.name,
-                        solver=type(self.solver).__name__)
+                        solver=type(self.solver).__name__,
+                        policies=describe_policies(self.solver))
         steps = dataset.steps if max_steps is None \
             else dataset.steps[:max_steps]
         last = len(steps) - 1

@@ -1,0 +1,208 @@
+"""Adaptive per-step budget controllers.
+
+A :class:`BudgetController` watches each completed step's
+:class:`~repro.solvers.base.StepReport` extras and emits a
+multiplicative *target scale*: the next step's selection pass budgets
+against ``target_seconds * target_scale()``.  Two controllers ship:
+
+* ``fixed`` — the historical behavior: scale pinned at 1.0, observe is
+  a no-op.  This is the default everywhere, so the refactor is
+  bit-identical to the pre-registry solver.
+* ``slambooster`` — a SLAMBooster-style application-aware controller
+  (Pusdekar et al.): EWMA trackers over the observed per-step
+  error signal (max pending-update norm) and the model-priced step
+  latency steer the approximation knob — here, the relinearization
+  budget itself.  Error climbing while latency has headroom → grow the
+  budget (catch up on linearization error); latency overrunning →
+  shrink it; otherwise relax geometrically back toward the nominal
+  budget.
+
+Composition with the serving fleet's
+:class:`~repro.serving.admission.OverloadController`: the fleet scales
+the *optional remainder* of a session's budget after the mandatory
+charge, while a budget controller scales the *target* the budget is
+built from.  To make the two compose instead of fight, RA-ISAM2 caps
+the controller's scale at 1.0 whenever the fleet is degrading
+(``budget_scale < 1``) — an overloaded fleet never sees a session
+inflate the very budget the fleet is trying to shed.
+
+All signals are deterministic (the latency signal is the cost-model
+priced charge, not wall-clock), so controller-modulated runs reproduce
+bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Type, Union
+
+
+class BudgetController:
+    """Protocol: observe per-step report extras, emit a budget scale."""
+
+    name: str = "?"
+
+    def target_scale(self) -> float:
+        """Multiplier on ``target_seconds`` for the *next* step."""
+        return 1.0
+
+    def observe(self, extras: Mapping[str, float]) -> float:
+        """Fold one completed step's signals; returns the new scale.
+
+        Relevant keys (solvers provide them; absent keys default
+        sanely): ``estimated_seconds`` (model-priced charge of the
+        step), ``budget_target_seconds`` (the nominal, unscaled
+        target) and ``max_delta_norm`` (the largest pending-update
+        norm after the step — the error-trend signal).
+        """
+        return self.target_scale()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FixedBudgetController(BudgetController):
+    """No adaptation: scale is always 1.0 (the historical solver)."""
+
+    name = "fixed"
+
+
+class SlamBoosterController(BudgetController):
+    """EWMA error/latency-trend controller over the step budget.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing weight of the newest observation.
+    backoff / boost:
+        Multiplicative scale decrease when the smoothed latency
+        overruns the nominal target, and increase when the error
+        signal exceeds ``error_floor`` while latency is below
+        ``headroom * target`` (shed fast, spend headroom eagerly).
+    relax:
+        Fractional pull of the scale back toward 1.0 on neutral
+        rounds (neither overloaded nor error-hungry).
+    min_scale / max_scale:
+        Clamp of the emitted scale: the budget never collapses below
+        ``min_scale`` of nominal and never inflates past ``max_scale``.
+    error_floor:
+        ``max_delta_norm`` level above which the estimate is considered
+        drifting enough to buy extra relinearization breadth.
+    """
+
+    name = "slambooster"
+
+    __slots__ = ("alpha", "backoff", "boost", "relax", "min_scale",
+                 "max_scale", "error_floor", "scale", "ewma_latency",
+                 "ewma_error", "rounds", "boosted_rounds",
+                 "backoff_rounds")
+
+    def __init__(self, alpha: float = 0.3, backoff: float = 0.75,
+                 boost: float = 1.2, relax: float = 0.25,
+                 min_scale: float = 0.25, max_scale: float = 3.0,
+                 error_floor: float = 0.05, seed: int = 0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 < backoff < 1.0:
+            raise ValueError("backoff must be in (0, 1)")
+        if boost <= 1.0:
+            raise ValueError("boost must exceed 1")
+        if not 0.0 <= relax <= 1.0:
+            raise ValueError("relax must be in [0, 1]")
+        if not 0.0 < min_scale <= 1.0 <= max_scale:
+            raise ValueError("need 0 < min_scale <= 1 <= max_scale")
+        self.alpha = float(alpha)
+        self.backoff = float(backoff)
+        self.boost = float(boost)
+        self.relax = float(relax)
+        self.min_scale = float(min_scale)
+        self.max_scale = float(max_scale)
+        self.error_floor = float(error_floor)
+        self.scale = 1.0
+        self.ewma_latency: Optional[float] = None
+        self.ewma_error: Optional[float] = None
+        self.rounds = 0
+        self.boosted_rounds = 0
+        self.backoff_rounds = 0
+
+    #: Latency headroom fraction below which boosting is allowed.
+    HEADROOM = 0.7
+
+    def target_scale(self) -> float:
+        return self.scale
+
+    def _fold(self, previous: Optional[float], value: float) -> float:
+        if previous is None:
+            return value
+        return self.alpha * value + (1.0 - self.alpha) * previous
+
+    def observe(self, extras: Mapping[str, float]) -> float:
+        latency = float(extras.get("estimated_seconds", 0.0))
+        target = float(extras.get("budget_target_seconds", 0.0))
+        error = float(extras.get("max_delta_norm", 0.0))
+        self.ewma_latency = self._fold(self.ewma_latency, latency)
+        self.ewma_error = self._fold(self.ewma_error, error)
+        self.rounds += 1
+        if target > 0.0 and self.ewma_latency > target:
+            # Overrunning the nominal deadline: shed breadth.
+            self.backoff_rounds += 1
+            self.scale = max(self.min_scale, self.scale * self.backoff)
+        elif self.ewma_error > self.error_floor and (
+                target <= 0.0
+                or self.ewma_latency < self.HEADROOM * target):
+            # Error trending up with latency headroom: buy breadth.
+            self.boosted_rounds += 1
+            self.scale = min(self.max_scale, self.scale * self.boost)
+        else:
+            # Neutral: relax geometrically back toward nominal.
+            self.scale += self.relax * (1.0 - self.scale)
+        return self.scale
+
+    def __repr__(self) -> str:
+        return (f"SlamBoosterController(scale={self.scale:.3f}, "
+                f"rounds={self.rounds})")
+
+
+BUDGET_CONTROLLERS: Dict[str, Type[BudgetController]] = {
+    FixedBudgetController.name: FixedBudgetController,
+    SlamBoosterController.name: SlamBoosterController,
+}
+
+ControllerSpec = Union[str, BudgetController, None]
+
+
+def register_budget_controller(cls: Type[BudgetController],
+                               replace: bool = False,
+                               ) -> Type[BudgetController]:
+    """Register a custom controller class under ``cls.name``."""
+    name = getattr(cls, "name", None)
+    if not name or name == BudgetController.name:
+        raise ValueError(
+            f"{cls.__name__} must define a non-empty class attribute "
+            f"'name' to be registered")
+    if not replace and name in BUDGET_CONTROLLERS:
+        raise ValueError(
+            f"budget controller {name!r} is already registered; pass "
+            f"replace=True to override")
+    BUDGET_CONTROLLERS[name] = cls
+    return cls
+
+
+def controller_names() -> List[str]:
+    """Registered controller names, sorted (CLI choices, errors)."""
+    return sorted(BUDGET_CONTROLLERS)
+
+
+def make_budget_controller(spec: ControllerSpec) -> BudgetController:
+    """Resolve a controller name/instance; ``None`` means ``fixed``."""
+    if spec is None:
+        return FixedBudgetController()
+    if isinstance(spec, BudgetController):
+        return spec
+    try:
+        factory = BUDGET_CONTROLLERS[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown budget controller {spec!r}; expected one of "
+            f"{controller_names()} or a BudgetController instance") \
+            from None
+    return factory()

@@ -8,9 +8,11 @@ See :mod:`repro.serving.fleet` for the session multiplexer,
 from repro.serving.admission import OverloadController
 from repro.serving.bench import (
     BenchResult,
+    WORKLOADS,
     compare_snapshots,
     default_solver_factory,
     fleet_workload,
+    named_fleet_workload,
     run_fleet,
     run_isolated,
     session_workload,
@@ -21,6 +23,8 @@ from repro.serving.fleet import FleetConfig, SessionFleet, SessionHandle
 __all__ = [
     "BenchResult",
     "FleetConfig",
+    "WORKLOADS",
+    "named_fleet_workload",
     "OverloadController",
     "SessionFleet",
     "SessionHandle",

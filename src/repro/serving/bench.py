@@ -64,6 +64,57 @@ def fleet_workload(num_sessions: int,
     return [session_workload(s, num_steps) for s in range(num_sessions)]
 
 
+def _adversarial_session(name: str, session_seed: int,
+                         num_steps: int) -> List[TimeStep]:
+    """One session's steps from a named adversarial generator.
+
+    Event cadences (kidnap interval, lap length, rendezvous point)
+    shrink with ``num_steps`` so even a 25-step bench session sees the
+    adversarial events, not just their benign prefix.
+    """
+    from repro.datasets.adversarial import (
+        kidnapped_robot_dataset,
+        long_term_revisit_dataset,
+        multi_robot_rendezvous_dataset,
+    )
+    if name == "kidnapped":
+        every = max(10, num_steps // 3)
+        data = kidnapped_robot_dataset(
+            scale=num_steps / 400.0, seed=1_000_003 + session_seed,
+            kidnap_every=every, burst_steps=min(5, every // 2))
+    elif name == "revisit":
+        laps = min(6, max(2, num_steps // 10))
+        data = long_term_revisit_dataset(
+            scale=num_steps / 300.0, seed=1_000_003 + session_seed,
+            laps=laps)
+    elif name == "rendezvous":
+        data = multi_robot_rendezvous_dataset(
+            scale=num_steps / 300.0, seed=1_000_003 + session_seed)
+    else:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of "
+            f"{sorted(WORKLOADS)}")
+    return data.truncated(num_steps).steps
+
+
+#: serve-bench ``--workload`` choices.
+WORKLOADS = ("chain", "kidnapped", "revisit", "rendezvous")
+
+
+def named_fleet_workload(name: str, num_sessions: int,
+                         num_steps: int) -> List[List[TimeStep]]:
+    """Per-session step lists for a named workload.
+
+    ``chain`` is the benign shared-topology trajectory above; the rest
+    are the :mod:`repro.datasets.adversarial` stress generators, one
+    seeded instance per session.
+    """
+    if name == "chain":
+        return fleet_workload(num_sessions, num_steps)
+    return [_adversarial_session(name, s, num_steps)
+            for s in range(num_sessions)]
+
+
 def default_solver_factory(**overrides) -> Callable[[], ISAM2]:
     """ISAM2 factory for the benchmark (plain solver: no budget noise
     in the comparison — fleet vs. isolated is purely scheduling)."""

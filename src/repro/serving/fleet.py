@@ -50,6 +50,7 @@ from repro.instrumentation import StepContext
 from repro.linalg.parallel import LevelStats, ParallelStepExecutor
 from repro.linalg.plan import PlanCache
 from repro.linalg.trace import OpTrace
+from repro.policy.selection import SelectionContext
 from repro.serving.admission import OverloadController
 from repro.solvers.base import StepReport
 from repro.solvers.batch_linearize import (
@@ -249,9 +250,10 @@ class SessionFleet:
 
         RA-ISAM2 sessions run their budgeted greedy selection with the
         optional budget shrunk to ``scale`` (shadow-counted sheds);
-        ISAM2 sessions keep the top ``ceil(scale * k)`` candidates by
-        relevance, re-sorted to position order so the retraction and
-        gradient float-accumulation order matches the solo path.  At
+        ISAM2 sessions keep the top ``ceil(scale * k)`` candidates in
+        the session policy's rank order (relevance by default),
+        re-sorted to position order so the retraction and gradient
+        float-accumulation order matches the solo path.  At
         ``scale >= 1`` both paths are the solo selection, key for key.
         """
         solver = slot.handle.solver
@@ -271,10 +273,22 @@ class SessionFleet:
         if scale >= 1.0 or not flagged.size:
             return [order[p] for p in flagged]
         keep = int(np.ceil(scale * flagged.size))
-        ranked = sorted((int(p) for p in flagged),
-                        key=lambda p: (-norms[p], p))[:keep]
+        positions = sorted((int(p) for p in flagged),
+                           key=lambda p: (-norms[p], p))
+        policy = getattr(solver, "selection_policy", None)
+        if policy is not None:
+            # Rank-only consult (no budget around): the policy reorders
+            # the relevance-ordered candidates, then the cut keeps the
+            # top-k of *its* order.  The default relevance policy is
+            # the identity here, bit-identical to the legacy cut.
+            candidates = [(float(norms[p]), order[p]) for p in positions]
+            kept = policy.rank(SelectionContext(
+                engine=engine, candidates=candidates))[:keep]
+            positions = [engine.pos_of[key] for _, key in kept]
+        else:
+            positions = positions[:keep]
         slot.shed = int(flagged.size) - keep
-        return [order[p] for p in sorted(ranked)]
+        return [order[p] for p in sorted(positions)]
 
     def _linearize_phase(self, slots: List[_Slot], request_of,
                          apply_result) -> List[_Slot]:
@@ -414,6 +428,11 @@ class SessionFleet:
             handle.solver._step,
             node_parents=handle.engine.node_parents(info["fresh_sids"]),
             **slot.report_kwargs)
+        observe = getattr(handle.solver, "observe_report", None)
+        if observe is not None:
+            # Advance the session's budget controller exactly as the
+            # solo update() path would (no-op for the fixed default).
+            observe(report)
         aud = current_auditor()
         if aud is not None:
             aud.check_nonneg(slot.shed, "fleet-shed-count",

@@ -87,6 +87,7 @@ from repro.linalg.plan import (
     tree_solve,
 )
 from repro.linalg.trace import NodeTrace, OpTrace
+from repro.policy.selection import make_selection_policy
 from repro.solvers.base import StepReport
 from repro.solvers.batch_linearize import (
     LinearizeRequest,
@@ -1344,6 +1345,12 @@ class ISAM2:
     relin_threshold:
         Fluid relinearization threshold beta: variables with
         ``‖delta_j‖∞ > beta`` move their linearization point this step.
+    selection_policy / selection_seed:
+        Registered :class:`~repro.policy.selection.SelectionPolicy`
+        name or instance.  Plain ISAM2 is unbudgeted, so the policy
+        never changes a solo step — it is consulted (rank-only) by the
+        serving fleet to pick *which* flagged variables a degraded
+        session keeps when overload shedding cuts the candidate list.
     ordering / reorder_interval:
         Engine ordering mode (``chronological`` or
         ``constrained_colamd``) and re-ordering cadence; see
@@ -1353,11 +1360,15 @@ class ISAM2:
     def __init__(self, relin_threshold: float = 0.1,
                  wildfire_tol: float = 1e-5, damping: float = 0.0,
                  max_supernode_vars: int = 8,
+                 selection_policy="relevance",
+                 selection_seed: int = 0,
                  ordering: str = "chronological",
                  reorder_interval: int = 25,
                  workers: Optional[int] = None,
                  plan_cache: Optional[PlanCache] = None):
         self.relin_threshold = float(relin_threshold)
+        self.selection_policy = make_selection_policy(
+            selection_policy, seed=selection_seed)
         self.engine = IncrementalEngine(
             max_supernode_vars=max_supernode_vars,
             wildfire_tol=wildfire_tol, damping=damping,

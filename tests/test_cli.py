@@ -54,6 +54,17 @@ class TestSolve:
         objective = float(out.split("final objective")[1].split()[0])
         assert objective < 1e3
 
+    def test_isam2_anchors_disconnected_components(self, tmp_path,
+                                                   capsys):
+        """A multi-robot g2o file has a second key namespace whose
+        first vertex arrives with no covering factor; the incremental
+        feed must anchor it instead of going singular."""
+        path = os.path.join(tmp_path, "rendezvous.g2o")
+        assert main(["generate", "--dataset", "Rendezvous",
+                     "--scale", "0.1", path]) == 0
+        assert main(["solve", path, "--solver", "isam2"]) == 0
+        assert "final objective" in capsys.readouterr().out
+
 
 class TestSimulate:
     def test_supernova(self, capsys):

@@ -1,0 +1,319 @@
+"""Policy-layer gates.
+
+The heart of this file is the dual-run equivalence suite: a frozen
+verbatim copy of the pre-registry ``RAISAM2.plan_selection`` (hard-coded
+if/elif policy dispatch) runs side by side with the registry-backed
+solver over the same workload, and every per-step selection plan must
+match **exactly** — same keys, same deferred/shed counts, and the same
+charged float down to the last bit (atol 0).  That is the refactor's
+no-behavior-change contract from DESIGN.md.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import RAISAM2, StepBudget
+from repro.core.ra_isam2 import SelectionPlan
+from repro.core.relevance import RelinCostEstimator, relevance_scores
+from repro.datasets import manhattan_dataset
+from repro.hardware.registry import make_platform
+from repro.policy import (
+    SELECTION_POLICIES,
+    SelectionContext,
+    SelectionPolicy,
+    SlamBoosterController,
+    controller_names,
+    make_budget_controller,
+    make_selection_policy,
+    register_budget_controller,
+    register_selection_policy,
+    selection_names,
+)
+from repro.runtime import NodeCostModel
+from repro.solvers import ISAM2
+
+
+class _LegacyRAISAM2(RAISAM2):
+    """RA-ISAM2 with the pre-registry selection pass, frozen verbatim.
+
+    ``plan_selection`` below is a byte-for-byte transplant of the
+    dispatch this refactor replaced (modulo the attribute names holding
+    the policy string and RNG); it is the equivalence oracle.
+    """
+
+    def __init__(self, *args, legacy_policy="relevance", legacy_seed=0,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        self._legacy_policy = legacy_policy
+        self._legacy_rng = random.Random(legacy_seed)
+
+    def plan_selection(self, new_factors, budget_scale=1.0):
+        budget = StepBudget(self.target_seconds, self.safety,
+                            self.energy_budget_joules)
+        estimator = RelinCostEstimator(
+            self.engine, self.cost_model,
+            numeric_speedup=self.cost_model.step_speedup())
+
+        touched = set()
+        for factor in new_factors:
+            touched.update(k for k in factor.keys
+                           if k in self.engine.pos_of)
+        mandatory = estimator.mandatory_cost(touched)
+        mandatory += self.cost_model.relin_seconds(len(new_factors))
+        mandatory_joules = self._estimate_energy(mandatory)
+        budget.charge_mandatory(mandatory, mandatory_joules)
+        nominal = None
+        if budget_scale < 1.0:
+            nominal = StepBudget(self.target_seconds, self.safety,
+                                 self.energy_budget_joules)
+            nominal.charge_mandatory(mandatory, mandatory_joules)
+            budget.scale_optional(budget_scale)
+
+        candidates = relevance_scores(self.engine, self.score_floor)
+        if self._legacy_policy == "fifo":
+            candidates = sorted(
+                candidates,
+                key=lambda pair: self.engine.pos_of[pair[1]])
+        elif self._legacy_policy == "random":
+            candidates = list(candidates)
+            self._legacy_rng.shuffle(candidates)
+        selected = []
+        deferred = 0
+        shed = 0
+        charged = mandatory
+        for score, key in candidates:
+            cost = estimator.relin_cost(key)
+            joules = self._estimate_energy(cost)
+            admitted = budget.charge(cost, joules)
+            if nominal is not None and nominal.charge(cost, joules) \
+                    and not admitted:
+                shed += 1
+            if admitted:
+                selected.append(key)
+                charged += cost
+            else:
+                deferred += 1
+        return SelectionPlan(selected, deferred, shed, charged,
+                             estimator.visits)
+
+
+def _solver_pair(policy, seed=0, **kwargs):
+    soc = make_platform("SuperNoVA1S")
+    base = dict(target_seconds=2e-4, **kwargs)  # tight: the budget binds
+    legacy = _LegacyRAISAM2(NodeCostModel(soc), legacy_policy=policy,
+                            legacy_seed=seed, **base)
+    current = RAISAM2(NodeCostModel(soc), selection_policy=policy,
+                      selection_seed=seed, **base)
+    return legacy, current
+
+
+@pytest.mark.parametrize("policy", ["relevance", "fifo", "random"])
+def test_legacy_dispatch_bit_identical(policy):
+    """Registry policies replay the legacy dispatch charge for charge."""
+    data = manhattan_dataset(scale=0.03)
+    legacy, current = _solver_pair(policy)
+    deferred_any = False
+    for step in data.steps:
+        # Degraded planning compared as a pure function first (both
+        # sides consume one extra shuffle for 'random', staying phase-
+        # locked), then the solo step is taken for real.
+        plan_l = legacy.plan_selection(step.factors, budget_scale=0.6)
+        plan_c = current.plan_selection(step.factors, budget_scale=0.6)
+        assert plan_l.selected == plan_c.selected
+        assert (plan_l.deferred, plan_l.shed) == \
+            (plan_c.deferred, plan_c.shed)
+        assert plan_l.charged == plan_c.charged  # atol 0, float order
+        assert plan_l.visits == plan_c.visits
+        report_l = legacy.update({step.key: step.guess}, step.factors)
+        report_c = current.update({step.key: step.guess}, step.factors)
+        assert report_l.deferred_variables == report_c.deferred_variables
+        assert report_l.extras.get("estimated_seconds") == \
+            report_c.extras.get("estimated_seconds")
+        deferred_any |= report_c.deferred_variables > 0
+    assert deferred_any, "budget never bound; the gate tested nothing"
+    est_l, est_c = legacy.estimate(), current.estimate()
+    assert set(est_l.keys()) == set(est_c.keys())
+    for key in est_l.keys():
+        a, b = est_l.at(key), est_c.at(key)
+        assert np.array_equal(
+            np.array([a.x, a.y, a.theta]),
+            np.array([b.x, b.y, b.theta]))
+
+
+# -- registry plumbing --------------------------------------------------
+
+def test_unknown_selection_policy_lists_registry():
+    soc = make_platform("SuperNoVA1S")
+    with pytest.raises(ValueError) as err:
+        RAISAM2(NodeCostModel(soc), selection_policy="bogus")
+    for name in selection_names():
+        assert name in str(err.value)
+    with pytest.raises(ValueError) as err:
+        ISAM2(selection_policy="bogus")
+    assert "relevance" in str(err.value)
+
+
+def test_unknown_budget_controller_lists_registry():
+    with pytest.raises(ValueError) as err:
+        make_budget_controller("bogus")
+    for name in controller_names():
+        assert name in str(err.value)
+    soc = make_platform("SuperNoVA1S")
+    with pytest.raises(ValueError):
+        RAISAM2(NodeCostModel(soc), budget_controller="bogus")
+
+
+def test_policy_instances_pass_through():
+    policy = make_selection_policy("random", seed=7)
+    assert make_selection_policy(policy) is policy
+    ctl = make_budget_controller("slambooster")
+    assert make_budget_controller(ctl) is ctl
+    assert make_budget_controller(None).name == "fixed"
+
+
+def test_register_selection_policy_guards():
+    class Nameless(SelectionPolicy):
+        pass
+
+    with pytest.raises(ValueError):
+        register_selection_policy(Nameless)
+    with pytest.raises(ValueError):  # no silent shadowing of built-ins
+        register_selection_policy(
+            type("Fake", (SelectionPolicy,), {"name": "relevance"}))
+
+
+def test_custom_selection_policy_end_to_end():
+    class NewestFirst(SelectionPolicy):
+        name = "newest_first"
+
+        def rank(self, ctx):
+            return sorted(ctx.candidates,
+                          key=lambda pair: -ctx.engine.pos_of[pair[1]])
+
+    register_selection_policy(NewestFirst)
+    try:
+        soc = make_platform("SuperNoVA1S")
+        solver = RAISAM2(NodeCostModel(soc), target_seconds=2e-4,
+                         selection_policy="newest_first")
+        data = manhattan_dataset(scale=0.01)
+        for step in data.steps:
+            solver.update({step.key: step.guess}, step.factors)
+        assert solver.selection_policy.name == "newest_first"
+    finally:
+        del SELECTION_POLICIES["newest_first"]
+
+
+# -- StepBudget.scale_optional edge cases (regression) ------------------
+
+def test_scale_optional_clamps_above_one():
+    budget = StepBudget(1.0, 1.0)
+    budget.charge_mandatory(0.4)
+    budget.scale_optional(2.5)          # clamped to 1.0: no growth
+    assert budget.remaining == pytest.approx(0.6)
+    budget.scale_optional(1.0)
+    assert budget.remaining == pytest.approx(0.6)
+
+
+def test_scale_optional_rejects_negative():
+    budget = StepBudget(1.0, 1.0)
+    with pytest.raises(ValueError):
+        budget.scale_optional(-0.5)
+    assert budget.remaining == pytest.approx(1.0)  # untouched on error
+
+
+def test_scale_optional_idempotent_when_exhausted():
+    budget = StepBudget(1.0, 1.0, energy_budget_joules=2.0)
+    budget.charge_mandatory(3.0, 1.0)   # time-exhausted, energy left
+    remaining, energy = budget.remaining, budget.energy_remaining
+    for _ in range(3):
+        budget.scale_optional(0.5)      # repeated scaling: no-op
+    assert budget.remaining == remaining
+    assert budget.energy_remaining == energy  # not silently shrunk
+
+
+# -- good_graph ---------------------------------------------------------
+
+def test_good_graph_rank_is_a_permutation():
+    soc = make_platform("SuperNoVA1S")
+    solver = RAISAM2(NodeCostModel(soc), target_seconds=2e-4,
+                     selection_policy="good_graph")
+    data = manhattan_dataset(scale=0.02)
+    for step in data.steps:
+        solver.update({step.key: step.guess}, step.factors)
+    candidates = relevance_scores(solver.engine, solver.score_floor)
+    estimator = RelinCostEstimator(
+        solver.engine, solver.cost_model,
+        numeric_speedup=solver.cost_model.step_speedup())
+    ranked = solver.selection_policy.rank(SelectionContext(
+        engine=solver.engine, candidates=candidates,
+        estimator=estimator))
+    assert sorted(ranked) == sorted(candidates)
+    # Rank-only mode (the fleet's cut) works without an estimator.
+    rank_only = solver.selection_policy.rank(SelectionContext(
+        engine=solver.engine, candidates=candidates))
+    assert sorted(rank_only) == sorted(candidates)
+
+
+# -- slambooster controller --------------------------------------------
+
+def test_slambooster_backoff_boost_relax():
+    ctl = SlamBoosterController(alpha=1.0, backoff=0.5, boost=2.0,
+                                relax=0.5, min_scale=0.25, max_scale=3.0,
+                                error_floor=0.1)
+    # Overrunning the target: back off multiplicatively to the floor.
+    for _ in range(5):
+        ctl.observe({"estimated_seconds": 2.0,
+                     "budget_target_seconds": 1.0,
+                     "max_delta_norm": 0.0})
+    assert ctl.target_scale() == pytest.approx(0.25)
+    assert ctl.backoff_rounds == 5
+    # Error high with latency headroom: boost up to the cap.
+    for _ in range(6):
+        ctl.observe({"estimated_seconds": 0.1,
+                     "budget_target_seconds": 1.0,
+                     "max_delta_norm": 0.5})
+    assert ctl.target_scale() == pytest.approx(3.0)
+    assert ctl.boosted_rounds == 6
+    # Neutral rounds: geometric relaxation back toward 1.0.
+    ctl.observe({"estimated_seconds": 0.1,
+                 "budget_target_seconds": 1.0,
+                 "max_delta_norm": 0.0})
+    assert ctl.target_scale() == pytest.approx(2.0)
+
+
+def test_slambooster_never_inflates_degraded_budget():
+    """Fleet composition rule: controller scale caps at 1.0 whenever
+    the fleet is shedding (budget_scale < 1)."""
+    soc = make_platform("SuperNoVA1S")
+    ctl = SlamBoosterController(alpha=1.0, boost=2.0, error_floor=0.01)
+    solver = RAISAM2(NodeCostModel(soc), target_seconds=2e-4,
+                     budget_controller=ctl)
+    data = manhattan_dataset(scale=0.02)
+    for step in data.steps:
+        solver.update({step.key: step.guess}, step.factors)
+    assert ctl.rounds == len(data.steps)
+    ctl.scale = 2.0                     # force an inflated controller
+    solver.plan_selection([], budget_scale=0.5)
+    assert solver._last_target_scale == 1.0
+    solver.plan_selection([], budget_scale=1.0)
+    assert solver._last_target_scale == pytest.approx(2.0)
+
+
+def test_register_budget_controller_roundtrip():
+    from repro.policy import BUDGET_CONTROLLERS, BudgetController
+
+    class Halver(BudgetController):
+        name = "halver"
+
+        def target_scale(self):
+            return 0.5
+
+    register_budget_controller(Halver)
+    try:
+        assert make_budget_controller("halver").target_scale() == 0.5
+        with pytest.raises(ValueError):
+            register_budget_controller(Halver)
+    finally:
+        del BUDGET_CONTROLLERS["halver"]

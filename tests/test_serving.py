@@ -216,8 +216,10 @@ def test_scale_optional_never_touches_mandatory():
     remaining = drained.remaining
     drained.scale_optional(0.5)
     assert drained.remaining == remaining
-    with pytest.raises(ValueError):
-        budget.scale_optional(1.5)
+    # Scales above 1.0 clamp: scaling never grows a budget.
+    before = budget.remaining
+    budget.scale_optional(1.5)
+    assert budget.remaining == before
     with pytest.raises(ValueError):
         budget.scale_optional(-0.1)
 
